@@ -1,0 +1,513 @@
+// Package symmeter's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per artifact, named after it)
+// plus micro-benchmarks of the core operations whose cost the paper argues
+// about (encoding throughput, packing, table learning).
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks report the measured headline metric (F-measure ×
+// 1000, MAE in watts, compression ratio) as custom units so the artifact's
+// value is visible next to its cost.
+package symmeter
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"symmeter/internal/dataset"
+	"symmeter/internal/experiments"
+	"symmeter/internal/sax"
+	"symmeter/internal/stats"
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+	"symmeter/internal/transport"
+)
+
+// benchCfg keeps figure benchmarks affordable: 6 houses, 12 days.
+func benchPipeline(b *testing.B) *experiments.Pipeline {
+	b.Helper()
+	p := experiments.NewPipeline(experiments.Config{Seed: 1, Houses: 6, Days: 12})
+	if err := p.Build(experiments.Window1h, experiments.Window15m); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFig1SymbolConstruction regenerates the recursive range-division
+// table of Fig. 1.
+func BenchmarkFig1SymbolConstruction(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fig1SymbolConstruction(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Histogram regenerates the power-level distribution of Fig. 2.
+func BenchmarkFig2Histogram(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Fig2Histogram(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Total() == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkFig3Normalization regenerates the Fig. 3 grouping comparison.
+func BenchmarkFig3Normalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		saxRes, symRes, err := experiments.Fig3Compare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if saxRes.NearestTo["A"] != "C" || symRes.NearestTo["A"] != "B" {
+			b.Fatal("grouping shape broke")
+		}
+	}
+}
+
+// BenchmarkFig4AccumulativeStats regenerates the convergence curves of
+// Fig. 4 over one day.
+func BenchmarkFig4AccumulativeStats(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fig4AccumulativeStats(0, 1, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// classificationCell runs one Fig. 5/6/7 (or Table 1) cell and reports the
+// F-measure as a custom metric.
+func classificationCell(b *testing.B, enc experiments.Encoding, model experiments.ModelName) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := p.Classify(enc, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = res.F1
+	}
+	b.ReportMetric(f1*1000, "mF1")
+}
+
+// BenchmarkFig5NaiveBayes runs the headline Fig. 5 cell (median 1h 16s, NB).
+func BenchmarkFig5NaiveBayes(b *testing.B) {
+	classificationCell(b,
+		experiments.Encoding{Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16},
+		experiments.ModelNaiveBayes)
+}
+
+// BenchmarkFig6RandomForest runs the headline Fig. 6 cell (median 1h 16s, RF).
+func BenchmarkFig6RandomForest(b *testing.B) {
+	classificationCell(b,
+		experiments.Encoding{Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16},
+		experiments.ModelRandomForest)
+}
+
+// BenchmarkFig7GlobalTable runs the Fig. 7 variant (single lookup table).
+func BenchmarkFig7GlobalTable(b *testing.B) {
+	classificationCell(b,
+		experiments.Encoding{Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16, GlobalTable: true},
+		experiments.ModelRandomForest)
+}
+
+// BenchmarkTable1Cell sweeps one representative Table 1 row per method,
+// reporting F1; the full grid is cmd/experiments -run table1.
+func BenchmarkTable1Cell(b *testing.B) {
+	for _, m := range symbolic.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			classificationCell(b,
+				experiments.Encoding{Method: m, Window: experiments.Window15m, K: 16},
+				experiments.ModelJ48)
+		})
+	}
+	b.Run("raw", func(b *testing.B) {
+		classificationCell(b,
+			experiments.Encoding{Method: symbolic.MethodNone, Window: experiments.Window15m},
+			experiments.ModelJ48)
+	})
+}
+
+// forecastCell runs one Fig. 8/9 series and reports the mean MAE over the
+// houses that ran.
+func forecastCell(b *testing.B, method symbolic.Method, model experiments.ModelName) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var mae float64
+	for i := 0; i < b.N; i++ {
+		results, err := p.ForecastAll(experiments.ForecastConfig{Method: method, Model: model})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for _, r := range results {
+			if !r.Skipped {
+				sum += r.MAE
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("every house skipped")
+		}
+		mae = sum / float64(n)
+	}
+	b.ReportMetric(mae, "W-MAE")
+}
+
+// BenchmarkFig8ForecastNB runs the Fig. 8 symbolic series (median, NB).
+func BenchmarkFig8ForecastNB(b *testing.B) {
+	forecastCell(b, symbolic.MethodMedian, experiments.ModelNaiveBayes)
+}
+
+// BenchmarkFig8ForecastRawSVR runs the Fig. 8 baseline series (raw SVR).
+func BenchmarkFig8ForecastRawSVR(b *testing.B) {
+	forecastCell(b, symbolic.MethodNone, experiments.ModelNaiveBayes)
+}
+
+// BenchmarkFig9ForecastRF runs the Fig. 9 symbolic series (median, RF).
+func BenchmarkFig9ForecastRF(b *testing.B) {
+	forecastCell(b, symbolic.MethodMedian, experiments.ModelRandomForest)
+}
+
+// BenchmarkCompressionRatio regenerates the §2.3 table and reports the
+// headline ratio (15m window, 16 symbols).
+func BenchmarkCompressionRatio(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CompressionTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Window == experiments.Window15m && r.K == 16 {
+				ratio = r.Stats.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "ratio")
+}
+
+// --- Core-operation micro-benchmarks -------------------------------------
+
+// benchSeries returns one day of 1 Hz data and a learned table.
+func benchSeries(b *testing.B, k int) (*timeseries.Series, *symbolic.Table) {
+	b.Helper()
+	gen := dataset.New(dataset.Config{Seed: 2, Houses: 1, Days: 2, DisableGaps: true})
+	day := gen.HouseDay(0, 1)
+	var builder symbolic.TableBuilder
+	builder.PushSeries(gen.HouseDay(0, 0))
+	table, err := builder.Build(symbolic.MethodMedian, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return day, table
+}
+
+// BenchmarkEncodeDay measures streaming a full 1 Hz day through the online
+// encoder at 15-minute aggregation.
+func BenchmarkEncodeDay(b *testing.B) {
+	day, table := benchSeries(b, 16)
+	b.SetBytes(int64(symbolic.RawSize(day.Len())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbolic.EncodeSeries(day, table, 900); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeValue measures a single horizontal-segmentation lookup.
+func BenchmarkEncodeValue(b *testing.B) {
+	_, table := benchSeries(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Encode(float64(i % 4000))
+	}
+}
+
+// BenchmarkLearnTable measures learning separators from two days of 1 Hz
+// history for each method.
+func BenchmarkLearnTable(b *testing.B) {
+	gen := dataset.New(dataset.Config{Seed: 2, Houses: 1, Days: 2, DisableGaps: true})
+	var vals []float64
+	for d := 0; d < 2; d++ {
+		vals = append(vals, gen.HouseDay(0, d).Values()...)
+	}
+	for _, m := range symbolic.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := symbolic.Learn(m, vals, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLearnTableStreaming compares the O(k)-memory P²-based builder
+// against the exact batch learner on the same two days of history.
+func BenchmarkLearnTableStreaming(b *testing.B) {
+	gen := dataset.New(dataset.Config{Seed: 2, Houses: 1, Days: 2, DisableGaps: true})
+	var vals []float64
+	for d := 0; d < 2; d++ {
+		vals = append(vals, gen.HouseDay(0, d).Values()...)
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.Learn(symbolic.MethodMedian, vals, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("p2-streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb, err := symbolic.NewStreamingTableBuilder(16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range vals {
+				sb.Push(v)
+			}
+			if _, err := sb.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lloydmax", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.Learn(symbolic.MethodLloydMax, vals, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransportDay measures streaming one full 1 Hz day through the
+// sensor→server protocol in memory.
+func BenchmarkTransportDay(b *testing.B) {
+	day, table := benchSeries(b, 16)
+	b.SetBytes(int64(symbolic.RawSize(day.Len())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		sensor, err := transport.NewSensor(&buf, table, 900, 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range day.Points {
+			if err := sensor.Push(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sensor.Close(); err != nil {
+			b.Fatal(err)
+		}
+		server := transport.NewServer(&buf)
+		if err := server.ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+		if len(server.Points) == 0 {
+			b.Fatal("no symbols delivered")
+		}
+	}
+}
+
+// BenchmarkPack measures bit-packing one day of 15-minute symbols.
+func BenchmarkPack(b *testing.B) {
+	day, table := benchSeries(b, 16)
+	ss, err := symbolic.EncodeSeries(day, table, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := ss.Symbols()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbolic.Pack(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAXEncode measures the SAX baseline on one day of hourly data.
+func BenchmarkSAXEncode(b *testing.B) {
+	gen := dataset.New(dataset.Config{Seed: 2, Houses: 1, Days: 1, DisableGaps: true})
+	vals := gen.HouseDay(0, 0).Resample(3600).Values()
+	enc, err := sax.NewEncoder(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateDay measures synthesising one house-day at 1 Hz.
+func BenchmarkGenerateDay(b *testing.B) {
+	gen := dataset.New(dataset.Config{Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.HouseDay(i%6, i%20)
+	}
+}
+
+// BenchmarkRunningMedian measures the online median structure the periodic
+// table-refresh path uses.
+func BenchmarkRunningMedian(b *testing.B) {
+	var rm stats.RunningMedian
+	for i := 0; i < b.N; i++ {
+		rm.Add(float64(i % 8192))
+	}
+	if rm.Count() != b.N {
+		b.Fatal("count mismatch")
+	}
+}
+
+// BenchmarkAblationPackedVsFixed compares the variable-length bit packing
+// against naive one-byte-per-symbol storage (the DESIGN.md §5 codec
+// ablation) by reporting bytes per day for each.
+func BenchmarkAblationPackedVsFixed(b *testing.B) {
+	day, table := benchSeries(b, 16)
+	ss, err := symbolic.EncodeSeries(day, table, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := ss.Symbols()
+	var packed int
+	for i := 0; i < b.N; i++ {
+		data, err := symbolic.Pack(syms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packed = len(data)
+	}
+	b.ReportMetric(float64(packed), "packedB")
+	b.ReportMetric(float64(len(syms)), "byteB") // 1 byte per symbol baseline
+}
+
+// BenchmarkAblationResolutionConversion measures coarsening a k=16 day to
+// k=4 versus re-encoding from raw — the §4 flexibility claim's cost side.
+func BenchmarkAblationResolutionConversion(b *testing.B) {
+	day, table := benchSeries(b, 16)
+	ss, err := symbolic.EncodeSeries(day, table, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("coarsen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ss.Coarsen(4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("re-encode", func(b *testing.B) {
+		coarse, err := table.Coarsen(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := symbolic.EncodeSeries(day, coarse, 900); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLearningWindow compares tables learned from one versus
+// two days of history (DESIGN.md §5: the Fig. 4 convergence claim's
+// practical consequence), reporting the downstream classification F1.
+func BenchmarkAblationLearningWindow(b *testing.B) {
+	for _, trainDays := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("days=%d", trainDays), func(b *testing.B) {
+			p := experiments.NewPipeline(experiments.Config{
+				Seed: 1, Houses: 6, Days: 12, TrainDays: trainDays,
+			})
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				res, err := p.Classify(experiments.Encoding{
+					Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16,
+				}, experiments.ModelNaiveBayes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = res.F1
+			}
+			b.ReportMetric(f1*1000, "mF1")
+		})
+	}
+}
+
+// BenchmarkClusteringExtension runs the segmentation-as-clustering
+// extension and reports symbolic purity.
+func BenchmarkClusteringExtension(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		rows, err := p.RunClustering(experiments.ClusterConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		purity = rows[1].Purity
+	}
+	b.ReportMetric(purity*1000, "mPurity")
+}
+
+// BenchmarkPrivacyExtension runs the event-detection attack study and
+// reports the coarsest encoding's attack F1 (the privacy headline).
+func BenchmarkPrivacyExtension(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := p.RunPrivacy(experiments.PrivacyConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = rows[len(rows)-1].F1
+	}
+	b.ReportMetric(f1*1000, "mAttackF1")
+}
+
+// BenchmarkDriftExtension runs the static-vs-adaptive drift study and
+// reports the adaptive MAE.
+func BenchmarkDriftExtension(b *testing.B) {
+	var mae float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDrift(experiments.DriftConfig{Seed: 1, Days: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mae = res.AdaptiveMAE
+	}
+	b.ReportMetric(mae, "W-MAE")
+}
+
+// sanity check that benchmark helpers build valid fixtures even when not
+// running benches (go vet-level guard).
+func TestBenchFixtures(t *testing.T) {
+	gen := dataset.New(dataset.Config{Seed: 2, Houses: 1, Days: 1, DisableGaps: true})
+	if gen.HouseDay(0, 0).Len() != timeseries.SecondsPerDay {
+		t.Fatal("fixture day incomplete")
+	}
+	if fmt.Sprintf("%d", timeseries.SecondsPerDay) != "86400" {
+		t.Fatal("constant drift")
+	}
+}

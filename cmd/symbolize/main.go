@@ -1,0 +1,101 @@
+// Command symbolize converts a CSV time series ("timestamp,value" rows)
+// into its symbolic representation: it learns a lookup table from a leading
+// portion of the data, streams the rest through the online encoder, and
+// prints symbols (or packs them into a binary file):
+//
+//	symbolize -in house1.csv -method median -k 16 -window 900
+//	symbolize -in house1.csv -k 8 -pack symbols.bin -table table.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input CSV path (required)")
+		method    = flag.String("method", "median", "separator method: uniform|median|distinctmedian")
+		k         = flag.Int("k", 16, "alphabet size (power of two)")
+		window    = flag.Int64("window", 900, "vertical aggregation window in seconds (0 = none)")
+		trainFrac = flag.Float64("train", 0.25, "fraction of the series used to learn the lookup table")
+		packPath  = flag.String("pack", "", "write bit-packed symbols to this file instead of stdout")
+		tablePath = flag.String("table", "", "write the serialised lookup table to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "symbolize: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	series, err := timeseries.ReadCSV(*in, f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if series.Empty() {
+		fail(fmt.Errorf("%s: no data", *in))
+	}
+
+	m, err := symbolic.ParseMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	if *trainFrac <= 0 || *trainFrac >= 1 {
+		fail(fmt.Errorf("train fraction %v must be in (0,1)", *trainFrac))
+	}
+	split := int(float64(series.Len()) * *trainFrac)
+	if split < 1 {
+		split = 1
+	}
+	var builder symbolic.TableBuilder
+	builder.PushSeries(&timeseries.Series{Name: "train", Points: series.Points[:split]})
+	table, err := builder.Build(m, *k)
+	if err != nil {
+		fail(err)
+	}
+	rest := &timeseries.Series{Name: series.Name, Points: series.Points[split:]}
+	ss, err := symbolic.EncodeSeries(rest, table, *window)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "table: %s\n", table)
+	fmt.Fprintf(os.Stderr, "encoded %d measurements into %d symbols\n", rest.Len(), ss.Len())
+
+	if *tablePath != "" {
+		if err := os.WriteFile(*tablePath, symbolic.MarshalTable(table), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote table to %s (%d bytes)\n", *tablePath, symbolic.TableWireSize(*k))
+	}
+	if *packPath != "" {
+		data, err := symbolic.Pack(ss.Symbols())
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*packPath, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d packed bytes to %s (raw would be %d bytes)\n",
+			len(data), *packPath, symbolic.RawSize(rest.Len()))
+		return
+	}
+	for _, p := range ss.Points {
+		fmt.Printf("%d %s\n", p.T, p.S)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "symbolize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Adaptive lookup tables under seasonal drift (the paper's §4 future-work
+// direction): a static table learned in winter mis-encodes summer load; the
+// AdaptiveEncoder detects the symbol-distribution drift, relearns its table
+// from recent window averages, and resends it — keeping reconstruction
+// error flat across the season.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symmeter/internal/experiments"
+)
+
+func main() {
+	fmt.Println("one house, 60 days, HVAC load swinging ±90% over a 90-day season")
+	fmt.Println("table learned from days 0-1 (static) vs relearned on drift (adaptive)")
+	fmt.Println()
+	res, err := experiments.RunDrift(experiments.DriftConfig{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.WriteDrift(stdout{}, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("the static table's error grows as the season departs from the")
+	fmt.Println("training days; each adaptive update re-centres the separators on")
+	fmt.Println("the current distribution at the cost of resending one small table.")
+}
+
+// stdout adapts fmt to io.Writer.
+type stdout struct{}
+
+func (stdout) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

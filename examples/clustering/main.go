@@ -1,0 +1,47 @@
+// Customer segmentation as clustering: group house-days by similarity and
+// check how well the groups recover the houses. The interesting twist
+// relative to the paper's classification experiments (Figs. 5-7): clustering
+// compares series *across* customers, so it needs the single global lookup
+// table — the same table mode that hurts classification is the one that
+// makes cross-customer distances meaningful.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symmeter/internal/experiments"
+	"symmeter/internal/symbolic"
+)
+
+func main() {
+	p := experiments.NewPipeline(experiments.Config{Seed: 4, Houses: 5, Days: 12})
+
+	fmt.Println("k-medoids over house-days, k = number of houses")
+	fmt.Println("(purity / adjusted Rand index against the true house labels)")
+	fmt.Println()
+	rows, err := p.RunClustering(experiments.ClusterConfig{
+		Seed:   4,
+		Method: symbolic.MethodMedian,
+		K:      8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.WriteClustering(out{}, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("the symbolic value-gap distance tracks the raw L1 clustering at a")
+	fmt.Println("fraction of the data size; plain Hamming over symbols can even win,")
+	fmt.Println("because ignoring magnitudes is robust to day-to-day occupancy swings —")
+	fmt.Println("pick the distance to match the analytics, as §4 argues.")
+}
+
+type out struct{}
+
+func (out) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

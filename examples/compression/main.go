@@ -1,0 +1,87 @@
+// Compression-ratio walkthrough (the paper's §2.3): how vertical and
+// horizontal segmentation granularity trade reconstruction accuracy against
+// data size, measured on a real (synthetic) day of 1 Hz data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"symmeter/internal/dataset"
+	"symmeter/internal/experiments"
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+)
+
+func main() {
+	fmt.Println("§2.3 arithmetic (per day of 1 Hz doubles):")
+	rows, err := experiments.CompressionTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.WriteCompressionTable(fmtWriter{}, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Now measure what the compression costs in reconstruction accuracy.
+	gen := dataset.New(dataset.Config{Seed: 11, Houses: 1, Days: 3, DisableGaps: true})
+	var builder symbolic.TableBuilder
+	builder.PushSeries(gen.HouseDay(0, 0))
+	builder.PushSeries(gen.HouseDay(0, 1))
+	today := gen.HouseDay(0, 2)
+
+	fmt.Println()
+	fmt.Println("accuracy cost on a real day (reconstruction MAE vs true window averages):")
+	fmt.Printf("%-8s %-4s %12s %12s\n", "window", "k", "bytes/day", "MAE [W]")
+	for _, window := range []int64{3600, 900} {
+		truth := today.Resample(window)
+		for _, k := range []int{2, 4, 8, 16} {
+			table, err := builder.Build(symbolic.MethodMedian, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			encoded, err := symbolic.EncodeSeries(today, table, window)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recon, err := encoded.Reconstruct()
+			if err != nil {
+				log.Fatal(err)
+			}
+			mae := meanAbsDiff(recon, truth)
+			packed, err := symbolic.Pack(encoded.Symbols())
+			if err != nil {
+				log.Fatal(err)
+			}
+			win := "15m"
+			if window == 3600 {
+				win = "1h"
+			}
+			fmt.Printf("%-8s %-4d %12d %12.1f\n", win, k, len(packed), mae)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("raw day: %d bytes; a 16-symbol/15m day costs ~4 orders of magnitude less\n",
+		symbolic.RawSize(today.Len()))
+}
+
+func meanAbsDiff(a, b *timeseries.Series) float64 {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(a.Points[i].V - b.Points[i].V)
+	}
+	return sum / float64(n)
+}
+
+// fmtWriter adapts fmt printing to io.Writer for WriteCompressionTable.
+type fmtWriter struct{}
+
+func (fmtWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

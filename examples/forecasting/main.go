@@ -1,0 +1,60 @@
+// Next-day hourly load forecasting over symbols (the paper's §3.2
+// scenario): one week of history, 12 lag symbols, next-symbol
+// classification, predicted symbols mapped to range centers — compared
+// with an ε-SVR over the raw values.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symmeter/internal/experiments"
+	"symmeter/internal/symbolic"
+)
+
+func main() {
+	p := experiments.NewPipeline(experiments.Config{Seed: 5, Houses: 6, Days: 16})
+
+	fmt.Println("next-day hourly forecasting, one week of history, 12 lag symbols, k=16")
+	fmt.Println("(MAE in watts over the test day; '-' = not enough data, like house 5)")
+	fmt.Println()
+
+	configs := []struct {
+		label string
+		cfg   experiments.ForecastConfig
+	}{
+		{"raw (SVR)", experiments.ForecastConfig{Method: symbolic.MethodNone}},
+		{"median + NaiveBayes", experiments.ForecastConfig{Method: symbolic.MethodMedian, Model: experiments.ModelNaiveBayes}},
+		{"median + RandomForest", experiments.ForecastConfig{Method: symbolic.MethodMedian, Model: experiments.ModelRandomForest}},
+		{"uniform + NaiveBayes", experiments.ForecastConfig{Method: symbolic.MethodUniform, Model: experiments.ModelNaiveBayes}},
+	}
+
+	fmt.Printf("%-24s", "model")
+	for h := 1; h <= p.Config().Houses; h++ {
+		fmt.Printf(" %8s", fmt.Sprintf("house %d", h))
+	}
+	fmt.Println()
+	for _, c := range configs {
+		results, err := p.ForecastAll(c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s", c.label)
+		for _, r := range results {
+			if r.Skipped {
+				fmt.Printf(" %8s", "-")
+			} else {
+				fmt.Printf(" %8.1f", r.MAE)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("symbolic forecasting predicts the *symbol* for the next hour and uses")
+	fmt.Println("the center of its range as the value — despite that quantisation it is")
+	fmt.Println("competitive with raw-value SVR, and on several houses beats it (Figs.")
+	fmt.Println("8/9). which method wins depends on the value distribution: on spiky")
+	fmt.Println("data, uniform's narrow high-power bins give better range centers than")
+	fmt.Println("median's wide top bins.")
+}

@@ -1,0 +1,49 @@
+// Customer segmentation over symbolic data (the paper's §3.1 scenario):
+// classify day-vectors by house with Naive Bayes and Random Forest, compare
+// median/distinctmedian/uniform encodings against raw aggregates, and show
+// the per-house-vs-global lookup-table effect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symmeter/internal/experiments"
+	"symmeter/internal/symbolic"
+)
+
+func main() {
+	p := experiments.NewPipeline(experiments.Config{Seed: 2, Houses: 6, Days: 14})
+
+	fmt.Println("customer segmentation: one instance per house-day, class = house")
+	fmt.Println("(10-fold cross-validated weighted F-measure)")
+	fmt.Println()
+
+	encodings := []experiments.Encoding{
+		{Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16},
+		{Method: symbolic.MethodDistinctMedian, Window: experiments.Window1h, K: 16},
+		{Method: symbolic.MethodUniform, Window: experiments.Window1h, K: 16},
+		{Method: symbolic.MethodMedian, Window: experiments.Window1h, K: 16, GlobalTable: true},
+		{Method: symbolic.MethodNone, Window: experiments.Window1h},
+	}
+	fmt.Printf("%-26s %12s %14s\n", "encoding", "NaiveBayes", "RandomForest")
+	for _, enc := range encodings {
+		nb, err := p.Classify(enc, experiments.ModelNaiveBayes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rf, err := p.Classify(enc, experiments.ModelRandomForest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %12.2f %14.2f\n", enc, nb.F1, rf.F1)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table like the paper does:")
+	fmt.Println(" - median with per-house tables wins: the quantile separators")
+	fmt.Println("   themselves encode house identity (Fig. 5/6);")
+	fmt.Println(" - the global-table variant (median+ row) gives that advantage up")
+	fmt.Println("   and drops toward the raw baseline (Fig. 7);")
+	fmt.Println(" - uniform bins waste resolution on empty high-power ranges.")
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLearningWindow(t *testing.T) {
+	rows, err := RunLearningWindow(3, 4, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].TrainDays != 1 || rows[1].TrainDays != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.F1 <= 0 || r.F1 > 1 {
+			t.Fatalf("F1 out of range: %+v", r)
+		}
+	}
+}
+
+func TestRunQuantizerComparison(t *testing.T) {
+	p := testPipeline(t)
+	rows, err := p.RunQuantizerComparison(0, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 methods × 2 alphabet sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	type key struct {
+		m string
+		k int
+	}
+	byKey := map[key]QuantizerRow{}
+	for _, r := range rows {
+		byKey[key{r.Method.String(), r.K}] = r
+		if r.MAE <= 0 || r.RMSE < r.MAE {
+			t.Fatalf("implausible errors: %+v", r)
+		}
+	}
+	// Lloyd–Max minimises RMSE among the methods at each k.
+	for _, k := range []int{4, 16} {
+		lm := byKey[key{"lloydmax", k}]
+		for _, m := range []string{"uniform", "median", "distinctmedian"} {
+			if other := byKey[key{m, k}]; lm.RMSE > other.RMSE*1.02 {
+				t.Fatalf("k=%d: lloydmax RMSE %v worse than %s %v", k, lm.RMSE, m, other.RMSE)
+			}
+		}
+	}
+	// Larger alphabets reconstruct better for every method.
+	for _, m := range []string{"uniform", "median", "distinctmedian", "lloydmax"} {
+		if byKey[key{m, 4}].MAE < byKey[key{m, 16}].MAE {
+			t.Fatalf("%s: k=4 MAE below k=16", m)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, nil, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lloydmax") {
+		t.Fatal("report missing lloydmax row")
+	}
+}
+
+func TestRunQuantizerComparisonNoData(t *testing.T) {
+	p := testPipeline(t)
+	if _, err := p.RunQuantizerComparison(99, nil); err == nil {
+		t.Fatal("nonexistent house should error")
+	}
+}

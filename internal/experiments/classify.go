@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"symmeter/internal/eval"
+	"symmeter/internal/ml"
+	"symmeter/internal/ml/forest"
+	"symmeter/internal/ml/logistic"
+	"symmeter/internal/ml/naivebayes"
+	"symmeter/internal/ml/tree"
+	"symmeter/internal/symbolic"
+)
+
+// Encoding names a data representation for the classification experiments.
+type Encoding struct {
+	// Method is the separator learner; MethodNone means raw (un-encoded)
+	// values.
+	Method symbolic.Method
+	// Window is the vertical aggregation in seconds.
+	Window int64
+	// K is the alphabet size (ignored for raw).
+	K int
+	// GlobalTable selects the single-lookup-table variant (the paper's "+"
+	// columns) instead of per-house tables.
+	GlobalTable bool
+}
+
+// String renders like the paper's row labels, e.g. "median 1h 16s" or
+// "raw 15m".
+func (e Encoding) String() string {
+	w := fmt.Sprintf("%ds", e.Window)
+	switch e.Window {
+	case Window1h:
+		w = "1h"
+	case Window15m:
+		w = "15m"
+	case WindowRaw1s:
+		w = "1sec"
+	}
+	if e.Method == symbolic.MethodNone {
+		return fmt.Sprintf("raw %s", w)
+	}
+	suffix := ""
+	if e.GlobalTable {
+		suffix = "+"
+	}
+	return fmt.Sprintf("%s%s %s %ds", e.Method, suffix, w, e.K)
+}
+
+// ModelName identifies a classifier for reports.
+type ModelName string
+
+// The classifiers the paper evaluates.
+const (
+	ModelRandomForest ModelName = "RandomForest"
+	ModelJ48          ModelName = "J48"
+	ModelNaiveBayes   ModelName = "NaiveBayes"
+	ModelLogistic     ModelName = "Logistic"
+)
+
+// AllModels lists the Table 1 classifiers in the paper's column order.
+var AllModels = []ModelName{ModelRandomForest, ModelJ48, ModelNaiveBayes, ModelLogistic}
+
+// NewModel constructs a fresh untrained classifier by name. The seed makes
+// stochastic models (Random Forest) reproducible.
+func NewModel(name ModelName, seed int64) ml.Classifier {
+	switch name {
+	case ModelRandomForest:
+		return forest.New(forest.Config{Trees: 10, Seed: seed})
+	case ModelJ48:
+		return tree.NewDefault()
+	case ModelNaiveBayes:
+		return naivebayes.New()
+	case ModelLogistic:
+		return logistic.NewDefault()
+	default:
+		panic(fmt.Sprintf("experiments: unknown model %q", name))
+	}
+}
+
+// ClassResult is one cell of Figs. 5–7 / Table 1.
+type ClassResult struct {
+	Encoding  Encoding
+	Model     ModelName
+	F1        float64
+	Accuracy  float64
+	Instances int
+	// ProcTime is the paper's "processing time": train+test wall clock of
+	// one full cross-validation.
+	ProcTime time.Duration
+}
+
+// ClassificationDataset builds the ml dataset for an encoding: one instance
+// per eligible house-day, class = house. Symbolic encodings produce nominal
+// attributes whose categories are the binary symbol strings; raw produces
+// numeric attributes. Missing slots stay NaN (missing).
+func (p *Pipeline) ClassificationDataset(enc Encoding) (*ml.Dataset, error) {
+	vectors, err := p.Vectors(enc.Window)
+	if err != nil {
+		return nil, err
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("experiments: no eligible days at window %d", enc.Window)
+	}
+	slots := len(vectors[0].Values)
+
+	attrs := make([]ml.Attribute, slots)
+	raw := enc.Method == symbolic.MethodNone
+	var symbolNames []string
+	if !raw {
+		alpha, err := symbolic.NewAlphabet(enc.K)
+		if err != nil {
+			return nil, err
+		}
+		symbolNames = make([]string, alpha.Size())
+		for i, s := range alpha.Symbols() {
+			symbolNames[i] = s.String()
+		}
+	}
+	for i := range attrs {
+		name := fmt.Sprintf("t%d", i)
+		if raw {
+			attrs[i] = ml.NumericAttr(name)
+		} else {
+			attrs[i] = ml.NominalAttr(name, symbolNames)
+		}
+	}
+	schema, err := ml.NewSchema(attrs, p.HouseNames())
+	if err != nil {
+		return nil, err
+	}
+	d := ml.NewDataset(schema)
+
+	// Per-house tables are fetched lazily; the global table once.
+	tables := make([]*symbolic.Table, p.cfg.Houses)
+	var global *symbolic.Table
+	if !raw {
+		if enc.GlobalTable {
+			if global, err = p.Table(enc.Method, enc.K, -1); err != nil {
+				return nil, err
+			}
+		} else {
+			for h := 0; h < p.cfg.Houses; h++ {
+				if tables[h], err = p.Table(enc.Method, enc.K, h); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	for _, vec := range vectors {
+		x := make([]float64, slots)
+		table := global
+		if !raw && !enc.GlobalTable {
+			table = tables[vec.House]
+		}
+		for i, v := range vec.Values {
+			switch {
+			case math.IsNaN(v):
+				x[i] = math.NaN()
+			case raw:
+				x[i] = v
+			default:
+				x[i] = float64(table.Encode(v).Index())
+			}
+		}
+		if err := d.Add(x, vec.House); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Classify runs the paper's 10-fold cross-validation for one encoding and
+// model, returning the weighted F-measure and processing time.
+func (p *Pipeline) Classify(enc Encoding, model ModelName) (ClassResult, error) {
+	d, err := p.ClassificationDataset(enc)
+	if err != nil {
+		return ClassResult{}, err
+	}
+	folds := 10
+	if d.Len() < folds {
+		folds = d.Len()
+	}
+	seed := p.cfg.Seed + 1000
+	res, err := eval.CrossValidate(d, folds, seed, func() ml.Classifier {
+		return NewModel(model, seed)
+	})
+	if err != nil {
+		return ClassResult{}, err
+	}
+	return ClassResult{
+		Encoding:  enc,
+		Model:     model,
+		F1:        res.F1(),
+		Accuracy:  res.Accuracy(),
+		Instances: d.Len(),
+		ProcTime:  res.ProcessingTime(),
+	}, nil
+}
+
+// EncodingGrid returns the paper's full sweep for a given table mode:
+// {distinctmedian, median, uniform} × {1h, 15m} × {2,4,8,16}, in the order
+// the figures' x-axes use.
+func EncodingGrid(global bool) []Encoding {
+	var out []Encoding
+	for _, m := range symbolic.Methods {
+		for _, w := range Windows {
+			for _, k := range Alphabets {
+				out = append(out, Encoding{Method: m, Window: w, K: k, GlobalTable: global})
+			}
+		}
+	}
+	return out
+}
+
+// RawEncodings returns the raw (aggregated) comparison rows.
+func RawEncodings() []Encoding {
+	return []Encoding{
+		{Method: symbolic.MethodNone, Window: Window1h},
+		{Method: symbolic.MethodNone, Window: Window15m},
+	}
+}

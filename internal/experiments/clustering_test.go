@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunClusteringRecoversHouses(t *testing.T) {
+	p := NewPipeline(Config{Seed: 2, Houses: 4, Days: 8, DisableGaps: true})
+	rows, err := p.RunClustering(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instances != 32 {
+			t.Fatalf("instances = %d", r.Instances)
+		}
+		if r.Purity < 1.0/4 || r.Purity > 1 {
+			t.Fatalf("purity out of range: %+v", r)
+		}
+	}
+	// The symbolic value-gap clustering must be substantially better than
+	// chance (purity 0.25 for 4 balanced houses).
+	if rows[1].Purity < 0.5 {
+		t.Fatalf("symbolic clustering purity = %v, want > 0.5", rows[1].Purity)
+	}
+	var buf bytes.Buffer
+	if err := WriteClustering(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "purity") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestRunClusteringAgglomerative(t *testing.T) {
+	p := NewPipeline(Config{Seed: 3, Houses: 3, Days: 6, DisableGaps: true})
+	rows, err := p.RunClustering(ClusterConfig{Algorithm: "agglomerative", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestClusterConfigDefaults(t *testing.T) {
+	c := ClusterConfig{}.withDefaults()
+	if c.Window != Window1h || c.K != 8 || c.Algorithm != "kmedoids" {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

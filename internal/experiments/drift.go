@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"symmeter/internal/dataset"
+	"symmeter/internal/symbolic"
+)
+
+// DriftConfig parameterises the §4 extension study: a house whose
+// consumption pattern "changes drastically" — the paper's additional-
+// family-member scenario, modelled as a lasting level shift partway through
+// the span (plus optional seasonal modulation) — encoded by a static lookup
+// table learned once versus the adaptive encoder that relearns when the
+// symbol distribution drifts.
+type DriftConfig struct {
+	Seed int64
+	// Days is the span length (default 45).
+	Days int
+	// ShiftDay is when the household changes (default Days/3).
+	ShiftDay int
+	// ShiftFactor is the lasting consumption multiplier (default 2).
+	ShiftFactor float64
+	// SeasonalAmplitude optionally adds seasonal HVAC modulation on top
+	// (default 0: isolate the structural change).
+	SeasonalAmplitude float64
+	// Window is the vertical aggregation (default 15 minutes).
+	Window int64
+	// K is the alphabet size (default 16).
+	K int
+	// Method learns both the initial and the relearned tables (default
+	// median).
+	Method symbolic.Method
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Days <= 0 {
+		c.Days = 45
+	}
+	if c.ShiftDay <= 0 {
+		c.ShiftDay = c.Days / 3
+	}
+	if c.ShiftFactor <= 0 {
+		c.ShiftFactor = 2
+	}
+	if c.Window <= 0 {
+		c.Window = Window15m
+	}
+	if c.K <= 0 {
+		c.K = 16
+	}
+	if c.Method == symbolic.MethodNone {
+		c.Method = symbolic.MethodMedian
+	}
+	return c
+}
+
+// DriftPeriod is one reporting bucket of the drift study.
+type DriftPeriod struct {
+	// Days is the inclusive day range of the bucket.
+	FromDay, ToDay int
+	// StaticMAE and AdaptiveMAE are reconstruction errors against the true
+	// window averages.
+	StaticMAE, AdaptiveMAE float64
+}
+
+// DriftResult is the outcome of the drift study.
+type DriftResult struct {
+	Periods []DriftPeriod
+	// Updates is how many times the adaptive encoder relearned its table.
+	Updates int
+	// StaticMAE and AdaptiveMAE aggregate over the whole post-training span.
+	StaticMAE, AdaptiveMAE float64
+}
+
+// RunDrift generates a house whose consumption shifts lastingly at
+// ShiftDay, learns a table from the first two days, and streams the
+// remaining days through (a) a static encoder and (b) the adaptive encoder,
+// comparing reconstruction error in 10-day buckets.
+func RunDrift(cfg DriftConfig) (DriftResult, error) {
+	cfg = cfg.withDefaults()
+	gen := dataset.New(dataset.Config{
+		Seed: cfg.Seed, Houses: 1, Days: cfg.Days, DisableGaps: true,
+		SeasonalAmplitude: cfg.SeasonalAmplitude,
+		ShiftDay:          cfg.ShiftDay, ShiftFactor: cfg.ShiftFactor,
+	})
+
+	var builder symbolic.TableBuilder
+	builder.PushSeries(gen.HouseDay(0, 0))
+	builder.PushSeries(gen.HouseDay(0, 1))
+	initial, err := builder.Build(cfg.Method, cfg.K)
+	if err != nil {
+		return DriftResult{}, err
+	}
+	static := symbolic.NewEncoder(initial, cfg.Window)
+	adaptive, err := symbolic.NewAdaptiveEncoder(initial, symbolic.AdaptiveConfig{
+		Window: cfg.Window,
+	})
+	if err != nil {
+		return DriftResult{}, err
+	}
+
+	const bucketDays = 10
+	var res DriftResult
+	var bucket DriftPeriod
+	bucket.FromDay = 2
+	var bucketN, totalN int
+	var bucketStatic, bucketAdaptive float64
+	flush := func(lastDay int) {
+		if bucketN == 0 {
+			return
+		}
+		bucket.ToDay = lastDay
+		bucket.StaticMAE = bucketStatic / float64(bucketN)
+		bucket.AdaptiveMAE = bucketAdaptive / float64(bucketN)
+		res.Periods = append(res.Periods, bucket)
+		bucket = DriftPeriod{FromDay: lastDay + 1}
+		bucketStatic, bucketAdaptive = 0, 0
+		bucketN = 0
+	}
+
+	for d := 2; d < cfg.Days; d++ {
+		day := gen.HouseDay(0, d)
+		for _, p := range day.Points {
+			ssp, savg, sok, err := static.PushWithValue(p)
+			if err != nil {
+				return DriftResult{}, err
+			}
+			asp, aok, up, err := adaptive.Push(p)
+			if err != nil {
+				return DriftResult{}, err
+			}
+			if up != nil {
+				res.Updates++
+			}
+			if sok {
+				v, err := static.Table().Value(ssp.S)
+				if err != nil {
+					return DriftResult{}, err
+				}
+				bucketStatic += math.Abs(v - savg)
+				res.StaticMAE += math.Abs(v - savg)
+			}
+			if aok {
+				v, err := adaptive.Table().Value(asp.S)
+				if err != nil {
+					return DriftResult{}, err
+				}
+				bucketAdaptive += math.Abs(v - savg)
+				res.AdaptiveMAE += math.Abs(v - savg)
+				bucketN++
+				totalN++
+			}
+		}
+		if (d-1)%bucketDays == 0 && d > 2 {
+			flush(d)
+		}
+	}
+	flush(cfg.Days - 1)
+	if totalN > 0 {
+		res.StaticMAE /= float64(totalN)
+		res.AdaptiveMAE /= float64(totalN)
+	}
+	return res, nil
+}
+
+// WriteDrift renders the drift study.
+func WriteDrift(w io.Writer, res DriftResult) error {
+	if _, err := fmt.Fprintf(w, "%-12s %14s %14s\n", "days", "static MAE", "adaptive MAE"); err != nil {
+		return err
+	}
+	for _, p := range res.Periods {
+		if _, err := fmt.Fprintf(w, "%4d..%-6d %14.1f %14.1f\n",
+			p.FromDay, p.ToDay, p.StaticMAE, p.AdaptiveMAE); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "overall: static %.1f W, adaptive %.1f W, %d table update(s)\n",
+		res.StaticMAE, res.AdaptiveMAE, res.Updates)
+	return err
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDriftConfigDefaults(t *testing.T) {
+	c := DriftConfig{}.withDefaults()
+	if c.Days != 45 || c.K != 16 || c.Window != Window15m || c.ShiftDay != 15 || c.ShiftFactor != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestRunDriftAdaptiveWins(t *testing.T) {
+	// The §4 "additional family member" scenario: a lasting 2× consumption
+	// shift at day 15. The adaptive encoder must relearn (at least once)
+	// and end up with a lower overall reconstruction error than the static
+	// table learned on days 0-1.
+	res, err := RunDrift(DriftConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("a lasting 2x shift should trigger at least one table update")
+	}
+	if res.AdaptiveMAE >= res.StaticMAE {
+		t.Fatalf("adaptive MAE %v not below static %v", res.AdaptiveMAE, res.StaticMAE)
+	}
+	if len(res.Periods) < 3 {
+		t.Fatalf("only %d reporting buckets", len(res.Periods))
+	}
+	var buf bytes.Buffer
+	if err := WriteDrift(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table update") {
+		t.Fatal("report missing update count")
+	}
+}
+
+func TestRunDriftStableHouseQuiet(t *testing.T) {
+	// ShiftFactor 1 disables the change: the adaptive encoder should rarely
+	// (ideally never) relearn, and must not be substantially worse than
+	// static.
+	res, err := RunDrift(DriftConfig{Seed: 1, ShiftFactor: 1, Days: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates > 2 {
+		t.Fatalf("%d spurious updates on a stable house", res.Updates)
+	}
+	if res.AdaptiveMAE > res.StaticMAE*1.25 {
+		t.Fatalf("adaptive MAE %v much worse than static %v on stable data",
+			res.AdaptiveMAE, res.StaticMAE)
+	}
+}
+
+func TestRunDriftSeasonalOnTop(t *testing.T) {
+	// Seasonal modulation stacked on the structural shift still works.
+	res, err := RunDrift(DriftConfig{Seed: 5, SeasonalAmplitude: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveMAE > res.StaticMAE*1.1 {
+		t.Fatalf("adaptive %v much worse than static %v with seasonality",
+			res.AdaptiveMAE, res.StaticMAE)
+	}
+}

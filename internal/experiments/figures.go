@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"symmeter/internal/sax"
+	"symmeter/internal/stats"
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+)
+
+// Fig1SymbolConstruction reproduces Fig. 1: the recursive division of the
+// value range into variable-length binary symbols. It learns uniform tables
+// at k = 2, 4, 8 over the house's training data and reports, per level, each
+// symbol with its value range — showing that level-l symbols refine level-
+// (l-1) symbols.
+type Fig1Row struct {
+	Symbol   symbolic.Symbol
+	Lo, Hi   float64
+	ParentOf []symbolic.Symbol
+}
+
+// Fig1SymbolConstruction returns rows grouped by level.
+func (p *Pipeline) Fig1SymbolConstruction(house int) (map[int][]Fig1Row, error) {
+	out := make(map[int][]Fig1Row)
+	fine, err := p.Table(symbolic.MethodUniform, 8, house)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{2, 4, 8} {
+		t := fine
+		if k != 8 {
+			if t, err = fine.Coarsen(k); err != nil {
+				return nil, err
+			}
+		}
+		level := t.Level()
+		alpha, err := symbolic.NewAlphabet(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range alpha.Symbols() {
+			lo, hi, err := t.Bounds(s)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig1Row{Symbol: s, Lo: lo, Hi: hi}
+			if level < 3 {
+				a, b := s.Refinements()
+				row.ParentOf = []symbolic.Symbol{a, b}
+			}
+			out[level] = append(out[level], row)
+		}
+	}
+	return out, nil
+}
+
+// Fig2Histogram reproduces Fig. 2: the distribution of 1 Hz power levels in
+// 100 W bins from 0 to 2400 W, which should be right-skewed (log-normal).
+func (p *Pipeline) Fig2Histogram(house, days int) (*stats.Histogram, error) {
+	if err := p.Build(); err != nil {
+		return nil, err
+	}
+	h := stats.NewHistogram(0, 100, 24)
+	for d := 0; d < days && d < p.cfg.Days; d++ {
+		day := p.Generator().HouseDay(house, d)
+		for _, pt := range day.Points {
+			h.Add(pt.V)
+		}
+	}
+	return h, nil
+}
+
+// Fig3Consumer is one of the four consumers A-D of Fig. 3.
+type Fig3Consumer struct {
+	Name   string
+	Values []float64
+}
+
+// Fig3Consumers builds the four consumers of the paper's Fig. 3: A and B
+// are big consumers with slightly different profiles; C and D are their
+// small-consumer counterparts — C shares A's exact shape at a tenth of the
+// level, D shares B's. Without normalisation A and B (resp. C and D) are
+// more similar; with per-series normalisation A and C (resp. B and D) are
+// put together, losing the big/small distinction.
+func Fig3Consumers() []Fig3Consumer {
+	shapeA := []float64{1, 1, 6, 6, 2, 1, 1, 1}
+	shapeB := []float64{1, 1, 5, 6, 3, 1, 1, 1}
+	scale := func(shape []float64, f float64) []float64 {
+		out := make([]float64, len(shape))
+		for i, v := range shape {
+			out[i] = v * f
+		}
+		return out
+	}
+	return []Fig3Consumer{
+		{Name: "A", Values: scale(shapeA, 100)},
+		{Name: "B", Values: scale(shapeB, 90)},
+		{Name: "C", Values: scale(shapeA, 12)},
+		{Name: "D", Values: scale(shapeB, 11)},
+	}
+}
+
+// Fig3Result reports which consumers group together under each encoding:
+// per-consumer symbol words plus the pairing induced by nearest-neighbour
+// Hamming distance.
+type Fig3Result struct {
+	// Words maps consumer name to its symbol word.
+	Words map[string]string
+	// NearestTo maps consumer name to its nearest other consumer.
+	NearestTo map[string]string
+}
+
+// Fig3Compare encodes the four consumers with (a) SAX (z-normalised) and
+// (b) the paper's uniform table over the pooled range, and reports the
+// induced groupings. SAX groups by shape (A~B wrong pairing per the paper's
+// argument: A groups with C); the absolute encoding groups by level (A~B).
+func Fig3Compare() (saxRes, symRes Fig3Result, err error) {
+	consumers := Fig3Consumers()
+
+	enc, err := sax.NewEncoder(8, 4)
+	if err != nil {
+		return saxRes, symRes, err
+	}
+	saxWords := make(map[string][]int)
+	saxRes.Words = make(map[string]string)
+	for _, c := range consumers {
+		w, err := enc.Encode(c.Values)
+		if err != nil {
+			return saxRes, symRes, err
+		}
+		saxWords[c.Name] = w.Symbols
+		saxRes.Words[c.Name] = w.String()
+	}
+	saxRes.NearestTo = nearestByHamming(saxWords)
+
+	// Paper-style absolute encoding: one uniform table over the pooled data.
+	var pooled []float64
+	for _, c := range consumers {
+		pooled = append(pooled, c.Values...)
+	}
+	table, err := symbolic.Learn(symbolic.MethodUniform, pooled, 4)
+	if err != nil {
+		return saxRes, symRes, err
+	}
+	symWords := make(map[string][]int)
+	symRes.Words = make(map[string]string)
+	for _, c := range consumers {
+		series := timeseries.FromValues(c.Name, 0, 1, c.Values)
+		ss := symbolic.Horizontal(series, table)
+		idx := make([]int, ss.Len())
+		for i, sp := range ss.Points {
+			idx[i] = sp.S.Index()
+		}
+		symWords[c.Name] = idx
+		symRes.Words[c.Name] = ss.String()
+	}
+	symRes.NearestTo = nearestByHamming(symWords)
+	return saxRes, symRes, nil
+}
+
+// nearestByHamming pairs each word with its closest other word.
+func nearestByHamming(words map[string][]int) map[string]string {
+	out := make(map[string]string)
+	for a, wa := range words {
+		best := ""
+		bestD := math.MaxInt32
+		for b, wb := range words {
+			if a == b {
+				continue
+			}
+			d := 0
+			for i := range wa {
+				if wa[i] != wb[i] {
+					d++
+				}
+			}
+			if d < bestD || (d == bestD && b < best) {
+				bestD = d
+				best = b
+			}
+		}
+		out[a] = best
+	}
+	return out
+}
+
+// Fig4Point is one snapshot of the accumulative statistics.
+type Fig4Point struct {
+	Seconds                      int
+	Mean, Median, DistinctMedian float64
+}
+
+// Fig4AccumulativeStats reproduces Fig. 4: accumulative mean, median and
+// distinctmedian over the first `days` days of a house, snapshotted every
+// `every` seconds of data.
+func (p *Pipeline) Fig4AccumulativeStats(house, days int, every int) ([]Fig4Point, error) {
+	if err := p.Build(); err != nil {
+		return nil, err
+	}
+	if every <= 0 {
+		every = 5000
+	}
+	var acc stats.Accumulative
+	var out []Fig4Point
+	n := 0
+	for d := 0; d < days && d < p.cfg.Days; d++ {
+		day := p.Generator().HouseDay(house, d)
+		for _, pt := range day.Points {
+			acc.Add(pt.V)
+			n++
+			if n%every == 0 {
+				s := acc.Snapshot()
+				out = append(out, Fig4Point{
+					Seconds: n, Mean: s.Mean, Median: s.Median, DistinctMedian: s.DistinctMedian,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CompressionRow is one row of the §2.3 compression table.
+type CompressionRow struct {
+	Window int64
+	K      int
+	Stats  symbolic.CompressionStats
+}
+
+// CompressionTable sweeps the paper's windows and alphabets over 1 Hz data.
+func CompressionTable() ([]CompressionRow, error) {
+	var out []CompressionRow
+	for _, w := range Windows {
+		for _, k := range Alphabets {
+			st, err := symbolic.Compression(1, w, k)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CompressionRow{Window: w, K: k, Stats: st})
+		}
+	}
+	return out, nil
+}
+
+// WriteCompressionTable renders the table.
+func WriteCompressionTable(w io.Writer, rows []CompressionRow) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-4s %12s %12s %12s %10s\n",
+		"window", "k", "raw bytes", "symbol bits", "packed B", "ratio"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		win := fmt.Sprintf("%ds", r.Window)
+		if r.Window == Window1h {
+			win = "1h"
+		} else if r.Window == Window15m {
+			win = "15m"
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-4d %12d %12d %12d %10.0f\n",
+			win, r.K, r.Stats.RawBytes, r.Stats.SymbolBits, r.Stats.PackedBytes, r.Stats.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

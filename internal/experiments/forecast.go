@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"symmeter/internal/eval"
+	"symmeter/internal/ml"
+	"symmeter/internal/ml/ar"
+	"symmeter/internal/ml/svm"
+	"symmeter/internal/symbolic"
+)
+
+// ForecastConfig parameterises the §3.2 experiment: next-day hourly load
+// forecasting from one week of history, reduced to classification over 12
+// lag symbols (symbolic) or regression over 12 lag values (raw SVR).
+type ForecastConfig struct {
+	// Method selects the symbolic encoding; MethodNone runs the raw-value
+	// SVR baseline.
+	Method symbolic.Method
+	// K is the alphabet size (the paper uses 16).
+	K int
+	// Lags is the number of lag attributes (the paper uses 12).
+	Lags int
+	// TrainDays is the history length in days (the paper uses 7).
+	TrainDays int
+	// Model picks the classifier for symbolic forecasting (ignored for raw).
+	Model ModelName
+}
+
+func (c ForecastConfig) withDefaults() ForecastConfig {
+	if c.K <= 0 {
+		c.K = 16
+	}
+	if c.Lags <= 0 {
+		c.Lags = 12
+	}
+	if c.TrainDays <= 0 {
+		c.TrainDays = 7
+	}
+	if c.Model == "" {
+		c.Model = ModelNaiveBayes
+	}
+	return c
+}
+
+// ForecastResult is one bar of Figs. 8/9.
+type ForecastResult struct {
+	House int
+	// MAE is the mean absolute error in watts over the test day.
+	MAE float64
+	// Skipped marks houses without enough contiguous data (house 5 in the
+	// paper).
+	Skipped bool
+	Reason  string
+}
+
+// hourlySeries assembles house h's hourly consumption across days as a flat
+// slice indexed by absolute hour (day*24 + slot); NaN where data is missing
+// or the day is ineligible.
+func (p *Pipeline) hourlySeries(h int) ([]float64, error) {
+	vectors, err := p.Vectors(Window1h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.cfg.Days*24)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	for _, vec := range vectors {
+		if vec.House != h {
+			continue
+		}
+		copy(out[vec.Day*24:], vec.Values)
+	}
+	return out, nil
+}
+
+// forecastSplit finds the first run of TrainDays+1 consecutive days whose
+// hourly series is mostly present (the paper's "enough data" bar: at least
+// 20 of 24 hourly slots per day), returning the train hours and test-day
+// hours. Hours still missing inside the run stay NaN; lag windows touching
+// them are skipped downstream. A house with no such run is skipped — house
+// 5 in the paper.
+func (p *Pipeline) forecastSplit(h int, cfg ForecastConfig) (train, test []float64, err error) {
+	hours, err := p.hourlySeries(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	need := (cfg.TrainDays + 1) * 24
+	dayOK := func(d int) bool {
+		present := 0
+		for i := d * 24; i < (d+1)*24; i++ {
+			if !math.IsNaN(hours[i]) {
+				present++
+			}
+		}
+		return present >= 20
+	}
+	for d := 0; d+cfg.TrainDays+1 <= p.cfg.Days; d++ {
+		ok := true
+		for dd := d; dd <= d+cfg.TrainDays; dd++ {
+			if !dayOK(dd) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			start := d * 24
+			return hours[start : start+cfg.TrainDays*24],
+				hours[start+cfg.TrainDays*24 : start+need], nil
+		}
+	}
+	return nil, nil, nil // no run found: skip
+}
+
+// hasNaN reports whether any value in xs is NaN.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForecastHouse forecasts one house and reports the MAE over its test day.
+func (p *Pipeline) ForecastHouse(h int, cfg ForecastConfig) (ForecastResult, error) {
+	cfg = cfg.withDefaults()
+	train, test, err := p.forecastSplit(h, cfg)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	if train == nil {
+		return ForecastResult{House: h, Skipped: true,
+			Reason: "not enough contiguous data"}, nil
+	}
+	if cfg.Method == symbolic.MethodNone {
+		return p.forecastRaw(h, cfg, train, test)
+	}
+	return p.forecastSymbolic(h, cfg, train, test)
+}
+
+// forecastRaw is the paper's baseline: ε-SVR over 12 numeric lags.
+func (p *Pipeline) forecastRaw(h int, cfg ForecastConfig, train, test []float64) (ForecastResult, error) {
+	var xs [][]float64
+	var ys []float64
+	for i := cfg.Lags; i < len(train); i++ {
+		if hasNaN(train[i-cfg.Lags:i]) || math.IsNaN(train[i]) {
+			continue
+		}
+		xs = append(xs, train[i-cfg.Lags:i])
+		ys = append(ys, train[i])
+	}
+	if len(xs) == 0 {
+		return ForecastResult{House: h, Skipped: true, Reason: "no complete lag windows"}, nil
+	}
+	model := svm.New(svm.Config{C: 1, Iters: 600})
+	if err := model.FitRegression(xs, ys); err != nil {
+		return ForecastResult{}, fmt.Errorf("experiments: SVR house %d: %w", h+1, err)
+	}
+	// One-step-ahead over the test day: lags use actual history; hours with
+	// missing lags or target are skipped.
+	history := append(append([]float64(nil), train...), test...)
+	var pred, actual []float64
+	offset := len(train)
+	for i := 0; i < len(test); i++ {
+		lag := history[offset+i-cfg.Lags : offset+i]
+		if hasNaN(lag) || math.IsNaN(test[i]) {
+			continue
+		}
+		pred = append(pred, model.PredictValue(lag))
+		actual = append(actual, test[i])
+	}
+	if len(pred) == 0 {
+		return ForecastResult{House: h, Skipped: true, Reason: "no predictable test hours"}, nil
+	}
+	mae, err := eval.MAE(pred, actual)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	return ForecastResult{House: h, MAE: mae}, nil
+}
+
+// forecastSymbolic reduces forecasting to next-symbol classification, then
+// maps predicted symbols to the centers of their ranges (§3.2 semantics).
+func (p *Pipeline) forecastSymbolic(h int, cfg ForecastConfig, train, test []float64) (ForecastResult, error) {
+	table, err := p.Table(cfg.Method, cfg.K, h)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	// Encode the hourly values; missing hours become -1 and any lag window
+	// touching one is skipped.
+	encode := func(vals []float64) []int {
+		out := make([]int, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				out[i] = -1
+				continue
+			}
+			out[i] = table.Encode(v).Index()
+		}
+		return out
+	}
+	trainSym := encode(train)
+	testSym := encode(test)
+
+	// Schema: Lags nominal attributes, class = next symbol.
+	alpha, err := symbolic.NewAlphabet(cfg.K)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	names := make([]string, alpha.Size())
+	for i, s := range alpha.Symbols() {
+		names[i] = s.String()
+	}
+	attrs := make([]ml.Attribute, cfg.Lags)
+	for i := range attrs {
+		attrs[i] = ml.NominalAttr(fmt.Sprintf("lag%d", cfg.Lags-i), names)
+	}
+	schema, err := ml.NewSchema(attrs, names)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	d := ml.NewDataset(schema)
+	for i := cfg.Lags; i < len(trainSym); i++ {
+		if trainSym[i] < 0 {
+			continue
+		}
+		x := make([]float64, cfg.Lags)
+		complete := true
+		for j := 0; j < cfg.Lags; j++ {
+			s := trainSym[i-cfg.Lags+j]
+			if s < 0 {
+				complete = false
+				break
+			}
+			x[j] = float64(s)
+		}
+		if !complete {
+			continue
+		}
+		if err := d.Add(x, trainSym[i]); err != nil {
+			return ForecastResult{}, err
+		}
+	}
+	if d.Len() == 0 {
+		return ForecastResult{House: h, Skipped: true, Reason: "no complete lag windows"}, nil
+	}
+	model := NewModel(cfg.Model, p.cfg.Seed+int64(h))
+	if err := model.Fit(d); err != nil {
+		return ForecastResult{}, fmt.Errorf("experiments: %s house %d: %w", cfg.Model, h+1, err)
+	}
+
+	// One-step-ahead next-symbol prediction over the test day.
+	historySym := append(append([]int(nil), trainSym...), testSym...)
+	offset := len(trainSym)
+	var pred, actual []float64
+	for i := 0; i < len(testSym); i++ {
+		if testSym[i] < 0 || math.IsNaN(test[i]) {
+			continue
+		}
+		x := make([]float64, cfg.Lags)
+		complete := true
+		for j := 0; j < cfg.Lags; j++ {
+			s := historySym[offset+i-cfg.Lags+j]
+			if s < 0 {
+				complete = false
+				break
+			}
+			x[j] = float64(s)
+		}
+		if !complete {
+			continue
+		}
+		symIdx := model.Predict(x)
+		center, err := table.Center(symbolic.NewSymbol(symIdx, table.Level()))
+		if err != nil {
+			return ForecastResult{}, err
+		}
+		pred = append(pred, center)
+		actual = append(actual, test[i])
+	}
+	if len(pred) == 0 {
+		return ForecastResult{House: h, Skipped: true, Reason: "no predictable test hours"}, nil
+	}
+	mae, err := eval.MAE(pred, actual)
+	if err != nil {
+		return ForecastResult{}, err
+	}
+	return ForecastResult{House: h, MAE: mae}, nil
+}
+
+// ForecastAll runs the forecasting experiment for every house, skipping
+// those without enough data (the paper skips house 5).
+func (p *Pipeline) ForecastAll(cfg ForecastConfig) ([]ForecastResult, error) {
+	out := make([]ForecastResult, 0, p.cfg.Houses)
+	for h := 0; h < p.cfg.Houses; h++ {
+		r, err := p.ForecastHouse(h, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ForecastMethods lists the Figs. 8/9 series: raw SVR plus the three
+// symbolic methods.
+func ForecastMethods() []symbolic.Method {
+	return []symbolic.Method{symbolic.MethodNone, symbolic.MethodDistinctMedian,
+		symbolic.MethodMedian, symbolic.MethodUniform}
+}
+
+// ForecastARBaseline runs the AR(24) and seasonal-naive baselines the load-
+// forecasting literature the paper cites builds on (Huang & Shih 2003;
+// Taylor 2010), under the same split as ForecastHouse.
+func (p *Pipeline) ForecastARBaseline(h int, cfg ForecastConfig) (arRes, naiveRes ForecastResult, err error) {
+	cfg = cfg.withDefaults()
+	train, test, err := p.forecastSplit(h, cfg)
+	if err != nil {
+		return ForecastResult{}, ForecastResult{}, err
+	}
+	if train == nil {
+		skipped := ForecastResult{House: h, Skipped: true, Reason: "not enough contiguous data"}
+		return skipped, skipped, nil
+	}
+	// AR needs a contiguous series: fill residual NaNs with the train mean.
+	filled := make([]float64, len(train))
+	var mean float64
+	var n int
+	for _, v := range train {
+		if !math.IsNaN(v) {
+			mean += v
+			n++
+		}
+	}
+	if n == 0 {
+		skipped := ForecastResult{House: h, Skipped: true, Reason: "no training data"}
+		return skipped, skipped, nil
+	}
+	mean /= float64(n)
+	for i, v := range train {
+		if math.IsNaN(v) {
+			filled[i] = mean
+		} else {
+			filled[i] = v
+		}
+	}
+
+	maeOf := func(pred []float64) (float64, bool) {
+		var sum float64
+		cnt := 0
+		for i := range test {
+			if math.IsNaN(test[i]) {
+				continue
+			}
+			sum += math.Abs(pred[i] - test[i])
+			cnt++
+		}
+		if cnt == 0 {
+			return 0, false
+		}
+		return sum / float64(cnt), true
+	}
+
+	model, err := ar.Fit(filled, 24)
+	if err != nil {
+		return ForecastResult{}, ForecastResult{}, fmt.Errorf("experiments: AR house %d: %w", h+1, err)
+	}
+	arPred, err := model.Forecast(filled, len(test))
+	if err != nil {
+		return ForecastResult{}, ForecastResult{}, err
+	}
+	if mae, ok := maeOf(arPred); ok {
+		arRes = ForecastResult{House: h, MAE: mae}
+	} else {
+		arRes = ForecastResult{House: h, Skipped: true, Reason: "no test hours"}
+	}
+
+	naivePred, err := ar.SeasonalNaive(filled, 24, len(test))
+	if err != nil {
+		return ForecastResult{}, ForecastResult{}, err
+	}
+	if mae, ok := maeOf(naivePred); ok {
+		naiveRes = ForecastResult{House: h, MAE: mae}
+	} else {
+		naiveRes = ForecastResult{House: h, Skipped: true, Reason: "no test hours"}
+	}
+	return arRes, naiveRes, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrivacyAttackDegradesWithCoarsening(t *testing.T) {
+	p := NewPipeline(Config{Seed: 4, Houses: 1, Days: 8, DisableGaps: true})
+	rows, err := p.RunPrivacy(PrivacyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 windows × 3 alphabets)", len(rows))
+	}
+	// Index rows by (window, k).
+	f1 := map[[2]int64]float64{}
+	for _, r := range rows {
+		f1[[2]int64{r.Window, int64(r.K)}] = r.F1
+	}
+	// The finest encoding must leak the most; the coarsest must leak
+	// substantially less.
+	finest := f1[[2]int64{60, 16}]
+	coarsest := f1[[2]int64{Window1h, 2}]
+	if finest <= coarsest {
+		t.Fatalf("attack F1: finest %v <= coarsest %v — coarsening should hurt the attack", finest, coarsest)
+	}
+	if finest < 0.5 {
+		t.Fatalf("finest encoding attack F1 = %v; the attack should mostly work there", finest)
+	}
+	if coarsest > 0.6 {
+		t.Fatalf("coarsest encoding attack F1 = %v; 1h/2-symbol data should obscure events", coarsest)
+	}
+	var buf bytes.Buffer
+	if err := WritePrivacy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "attack F1") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestDetectEventsAndMatch(t *testing.T) {
+	events := detectEvents([]float64{0, 100, 1500, 1500, 0, 2000}, 1000)
+	if len(events) != 2 || events[0] != 2 || events[1] != 5 {
+		t.Fatalf("events = %v", events)
+	}
+	precision, recall := matchEvents([]int{2, 5}, []int{3, 20}, 1)
+	if precision != 0.5 || recall != 0.5 {
+		t.Fatalf("p/r = %v/%v", precision, recall)
+	}
+	if p, r := matchEvents([]int{1}, nil, 1); p != 0 || r != 0 {
+		t.Fatal("no detections gives 0/0")
+	}
+}
+
+func TestPrivacyConfigDefaults(t *testing.T) {
+	c := PrivacyConfig{}.withDefaults()
+	if c.Days != 5 || c.EventThreshold != 1000 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

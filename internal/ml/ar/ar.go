@@ -1,0 +1,145 @@
+// Package ar implements autoregressive load forecasting — the AR(p) core of
+// the ARMA models the paper cites among standard short-term load
+// forecasting techniques (Huang & Shih 2003; Taylor 2010). It serves as a
+// second raw-value forecasting baseline next to the SVR, fitted by ordinary
+// least squares over lagged values with an optional daily-seasonal naive
+// component.
+package ar
+
+import (
+	"errors"
+	"math"
+)
+
+// Model is a fitted AR(p) model: y_t = c + Σ φ_i · y_{t-i}.
+type Model struct {
+	// Coef holds φ_1..φ_p.
+	Coef []float64
+	// Intercept is c.
+	Intercept float64
+	// P is the order.
+	P int
+}
+
+// Fit estimates an AR(p) model from the series by least squares on the lag
+// matrix (conditional MLE). The series must have at least 2p+2 points.
+func Fit(series []float64, p int) (*Model, error) {
+	if p < 1 {
+		return nil, errors.New("ar: order must be >= 1")
+	}
+	n := len(series) - p
+	if n < p+2 {
+		return nil, errors.New("ar: series too short for requested order")
+	}
+	// Build normal equations for [1, y_{t-1..t-p}] → y_t.
+	dim := p + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	row := make([]float64, dim)
+	for t := p; t < len(series); t++ {
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = series[t-i]
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * series[t]
+		}
+	}
+	// Ridge for numerical safety.
+	for i := 1; i < dim; i++ {
+		ata[i][i] += 1e-8
+	}
+	sol, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Intercept: sol[0], Coef: sol[1:], P: p}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, errors.New("ar: singular normal equations")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// Predict returns the one-step forecast given the most recent p values
+// (lags[0] is y_{t-p} ... lags[p-1] is y_{t-1}).
+func (m *Model) Predict(lags []float64) (float64, error) {
+	if len(lags) != m.P {
+		return 0, errors.New("ar: wrong number of lags")
+	}
+	y := m.Intercept
+	for i := 1; i <= m.P; i++ {
+		y += m.Coef[i-1] * lags[m.P-i]
+	}
+	return y, nil
+}
+
+// Forecast iterates Predict h steps ahead, feeding predictions back.
+func (m *Model) Forecast(history []float64, h int) ([]float64, error) {
+	if len(history) < m.P {
+		return nil, errors.New("ar: history shorter than order")
+	}
+	buf := append([]float64(nil), history[len(history)-m.P:]...)
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		y, err := m.Predict(buf)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+		buf = append(buf[1:], y)
+	}
+	return out, nil
+}
+
+// SeasonalNaive returns the naive daily-seasonal forecast: the value
+// `period` steps earlier. It is the standard sanity baseline for hourly
+// load (period 24).
+func SeasonalNaive(history []float64, period, h int) ([]float64, error) {
+	if period <= 0 || len(history) < period {
+		return nil, errors.New("ar: history shorter than one period")
+	}
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		out[i] = history[len(history)-period+(i%period)]
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package ar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitRecoversAR2(t *testing.T) {
+	// y_t = 5 + 0.6 y_{t-1} - 0.3 y_{t-2} + small noise.
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 2000)
+	series[0], series[1] = 5, 5
+	for t2 := 2; t2 < len(series); t2++ {
+		series[t2] = 5 + 0.6*series[t2-1] - 0.3*series[t2-2] + rng.NormFloat64()*0.05
+	}
+	m, err := Fit(series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-0.6) > 0.05 || math.Abs(m.Coef[1]+0.3) > 0.05 {
+		t.Fatalf("coef = %v, want ~[0.6 -0.3]", m.Coef)
+	}
+	if math.Abs(m.Intercept-5) > 0.5 {
+		t.Fatalf("intercept = %v, want ~5", m.Intercept)
+	}
+}
+
+func TestPredictAndForecast(t *testing.T) {
+	// Perfect AR(1): y_t = 2 + 0.5 y_{t-1}.
+	series := make([]float64, 200)
+	series[0] = 10
+	for i := 1; i < len(series); i++ {
+		series[i] = 2 + 0.5*series[i-1]
+	}
+	m, err := Fit(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict([]float64{4})
+	if err != nil || math.Abs(got-4) > 0.01 {
+		t.Fatalf("Predict = %v, %v (want 2+0.5*4 = 4)", got, err)
+	}
+	fc, err := m.Forecast(series, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed point of the recursion is 4.
+	for _, v := range fc {
+		if math.Abs(v-4) > 0.05 {
+			t.Fatalf("forecast = %v, want ~4", fc)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("order 0 should error")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("too-short series should error")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	series := make([]float64, 50)
+	for i := range series {
+		series[i] = float64(i % 7)
+	}
+	m, err := Fit(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong lag count should error")
+	}
+	if _, err := m.Forecast([]float64{1}, 3); err == nil {
+		t.Fatal("short history should error")
+	}
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	history := []float64{1, 2, 3, 10, 20, 30}
+	fc, err := SeasonalNaive(history, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 10, 20}
+	for i := range want {
+		if fc[i] != want[i] {
+			t.Fatalf("forecast = %v, want %v", fc, want)
+		}
+	}
+	if _, err := SeasonalNaive([]float64{1}, 3, 2); err == nil {
+		t.Fatal("short history should error")
+	}
+	if _, err := SeasonalNaive(history, 0, 2); err == nil {
+		t.Fatal("period 0 should error")
+	}
+}
+
+func TestForecastDailyPattern(t *testing.T) {
+	// AR(24) captures a clean daily pattern well.
+	series := make([]float64, 24*20)
+	for i := range series {
+		hour := i % 24
+		series[i] = 100 + 50*math.Sin(2*math.Pi*float64(hour)/24)
+	}
+	m, err := Fit(series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i, v := range fc {
+		hour := (len(series) + i) % 24
+		truth := 100 + 50*math.Sin(2*math.Pi*float64(hour)/24)
+		mae += math.Abs(v - truth)
+	}
+	mae /= 24
+	if mae > 1 {
+		t.Fatalf("AR(24) MAE on clean daily pattern = %v", mae)
+	}
+}

@@ -1,0 +1,105 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// iSAX (Shieh & Keogh, 2008) extends SAX words with per-symbol cardinality:
+// a symbol at cardinality 2^b keeps only the top b bits of its bin index,
+// so words can be compared across resolutions — the same prefix-refinement
+// idea the paper's variable-length binary alphabet generalises to
+// data-driven separators.
+
+// ISAXSymbol is one iSAX symbol: a bin index at some power-of-two
+// cardinality.
+type ISAXSymbol struct {
+	// Value is the bin index in [0, Cardinality).
+	Value int
+	// Cardinality is a power of two >= 2.
+	Cardinality int
+}
+
+// Bits returns log2(Cardinality).
+func (s ISAXSymbol) Bits() int { return bits.TrailingZeros(uint(s.Cardinality)) }
+
+// String renders "value^cardinality" like the iSAX literature.
+func (s ISAXSymbol) String() string { return fmt.Sprintf("%d^%d", s.Value, s.Cardinality) }
+
+// Demote reduces the symbol to a lower cardinality by dropping low bits.
+func (s ISAXSymbol) Demote(toCardinality int) (ISAXSymbol, error) {
+	if toCardinality < 2 || bits.OnesCount(uint(toCardinality)) != 1 {
+		return ISAXSymbol{}, errors.New("sax: cardinality must be a power of two >= 2")
+	}
+	if toCardinality > s.Cardinality {
+		return ISAXSymbol{}, fmt.Errorf("sax: cannot demote %v upward to %d", s, toCardinality)
+	}
+	shift := uint(s.Bits() - bits.TrailingZeros(uint(toCardinality)))
+	return ISAXSymbol{Value: s.Value >> shift, Cardinality: toCardinality}, nil
+}
+
+// Matches reports whether the two symbols are compatible: equal after
+// demoting the finer one to the coarser cardinality.
+func (s ISAXSymbol) Matches(o ISAXSymbol) bool {
+	if s.Cardinality > o.Cardinality {
+		s, o = o, s
+	}
+	demoted, err := o.Demote(s.Cardinality)
+	if err != nil {
+		return false
+	}
+	return demoted.Value == s.Value
+}
+
+// ISAXWord is an iSAX word: one symbol per PAA segment, possibly at mixed
+// cardinalities.
+type ISAXWord struct {
+	Symbols []ISAXSymbol
+}
+
+// String joins the symbols with spaces.
+func (w ISAXWord) String() string {
+	parts := make([]string, len(w.Symbols))
+	for i, s := range w.Symbols {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ToISAX converts a plain SAX word (cardinality K for every symbol).
+func ToISAX(w Word) ISAXWord {
+	out := ISAXWord{Symbols: make([]ISAXSymbol, len(w.Symbols))}
+	for i, s := range w.Symbols {
+		out.Symbols[i] = ISAXSymbol{Value: s, Cardinality: w.K}
+	}
+	return out
+}
+
+// Matches reports whether two words are compatible segment-by-segment —
+// the iSAX containment test used for indexing.
+func (w ISAXWord) Matches(o ISAXWord) bool {
+	if len(w.Symbols) != len(o.Symbols) {
+		return false
+	}
+	for i := range w.Symbols {
+		if !w.Symbols[i].Matches(o.Symbols[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Demote reduces every symbol to the given cardinality.
+func (w ISAXWord) Demote(toCardinality int) (ISAXWord, error) {
+	out := ISAXWord{Symbols: make([]ISAXSymbol, len(w.Symbols))}
+	for i, s := range w.Symbols {
+		d, err := s.Demote(toCardinality)
+		if err != nil {
+			return ISAXWord{}, err
+		}
+		out.Symbols[i] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package sax
+
+import "testing"
+
+func TestISAXDemote(t *testing.T) {
+	s := ISAXSymbol{Value: 5, Cardinality: 8} // binary 101
+	d, err := s.Demote(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 1 || d.Cardinality != 2 {
+		t.Fatalf("Demote = %+v", d)
+	}
+	d4, _ := s.Demote(4)
+	if d4.Value != 2 { // 10
+		t.Fatalf("Demote(4) = %+v", d4)
+	}
+	if _, err := s.Demote(16); err == nil {
+		t.Fatal("cannot demote upward")
+	}
+	if _, err := s.Demote(3); err == nil {
+		t.Fatal("non-power-of-two cardinality")
+	}
+	if s.Bits() != 3 {
+		t.Fatalf("Bits = %d", s.Bits())
+	}
+}
+
+func TestISAXMatches(t *testing.T) {
+	fine := ISAXSymbol{Value: 5, Cardinality: 8}
+	coarse := ISAXSymbol{Value: 1, Cardinality: 2}
+	if !fine.Matches(coarse) || !coarse.Matches(fine) {
+		t.Fatal("101 at card 8 should match 1 at card 2")
+	}
+	other := ISAXSymbol{Value: 0, Cardinality: 2}
+	if fine.Matches(other) {
+		t.Fatal("101 should not match 0")
+	}
+	same := ISAXSymbol{Value: 5, Cardinality: 8}
+	if !fine.Matches(same) {
+		t.Fatal("identical symbols must match")
+	}
+}
+
+func TestISAXWordOperations(t *testing.T) {
+	w := ToISAX(Word{Symbols: []int{5, 2, 7}, K: 8})
+	if len(w.Symbols) != 3 || w.Symbols[0].Cardinality != 8 {
+		t.Fatalf("ToISAX = %+v", w)
+	}
+	if w.String() != "5^8 2^8 7^8" {
+		t.Fatalf("String = %q", w.String())
+	}
+	demoted, err := w.Demote(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demoted.String() != "1^2 0^2 1^2" {
+		t.Fatalf("Demote = %q", demoted.String())
+	}
+	if !w.Matches(demoted) {
+		t.Fatal("a word must match its own demotion")
+	}
+	other := ToISAX(Word{Symbols: []int{5, 2}, K: 8})
+	if w.Matches(other) {
+		t.Fatal("length mismatch must not match")
+	}
+	if _, err := w.Demote(16); err == nil {
+		t.Fatal("demote upward must error")
+	}
+}
+
+func TestISAXMixedCardinalityMatch(t *testing.T) {
+	// The iSAX use case: compare words encoded at different resolutions.
+	a := ISAXWord{Symbols: []ISAXSymbol{
+		{Value: 5, Cardinality: 8}, {Value: 0, Cardinality: 2},
+	}}
+	b := ISAXWord{Symbols: []ISAXSymbol{
+		{Value: 2, Cardinality: 4}, {Value: 1, Cardinality: 4},
+	}}
+	// 5^8 = 101 vs 2^4 = 10: demote 101 -> 10: match.
+	// 0^2 = 0 vs 1^4 = 01: demote 01 -> 0: match.
+	if !a.Matches(b) {
+		t.Fatal("mixed-cardinality words should match")
+	}
+}

@@ -1,0 +1,237 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"symmeter/internal/stats"
+)
+
+func TestBreakpointsKnownTable(t *testing.T) {
+	// The canonical SAX table for k=4: {-0.67, 0, 0.67}.
+	bps, err := Breakpoints(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-0.6744897501960817, 0, 0.6744897501960817}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 1e-9 {
+			t.Fatalf("Breakpoints(4) = %v", bps)
+		}
+	}
+	if _, err := Breakpoints(1); err == nil {
+		t.Fatal("k=1 should error")
+	}
+}
+
+func TestBreakpointsEquiprobable(t *testing.T) {
+	// Symbols should be equally likely under standard normal data.
+	e, err := NewEncoder(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[e.symbol(rng.NormFloat64())]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Fatalf("symbol %d frequency %v, want ~0.125", s, frac)
+		}
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	z := ZNormalize(xs)
+	if math.Abs(stats.Mean(z)) > 1e-12 {
+		t.Fatalf("mean = %v", stats.Mean(z))
+	}
+	if math.Abs(stats.StdDev(z)-1) > 1e-12 {
+		t.Fatalf("std = %v", stats.StdDev(z))
+	}
+	// Constant series normalises to zeros.
+	for _, v := range ZNormalize([]float64{5, 5, 5}) {
+		if v != 0 {
+			t.Fatal("constant series should become zeros")
+		}
+	}
+	if len(ZNormalize(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestPAA(t *testing.T) {
+	got, err := PAA([]float64{1, 2, 3, 4, 5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 5 {
+		t.Fatalf("PAA = %v", got)
+	}
+	// Uneven division: 5 points, 2 segments → frames of 2 and 3.
+	got, err = PAA([]float64{1, 1, 4, 4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 4 {
+		t.Fatalf("uneven PAA = %v", got)
+	}
+	if _, err := PAA(nil, 2); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := PAA([]float64{1}, 0); err == nil {
+		t.Fatal("0 segments should error")
+	}
+	if _, err := PAA([]float64{1}, 5); err == nil {
+		t.Fatal("more segments than points should error")
+	}
+}
+
+func TestEncodeWordAndString(t *testing.T) {
+	e, err := NewEncoder(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rising ramp must produce non-decreasing symbols spanning the range.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	w, err := e.Encode(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(w.Symbols); i++ {
+		if w.Symbols[i] < w.Symbols[i-1] {
+			t.Fatalf("ramp gave non-monotone word %v", w)
+		}
+	}
+	if w.Symbols[0] != 0 || w.Symbols[3] != 3 {
+		t.Fatalf("ramp should span the alphabet: %v", w)
+	}
+	if w.String() != "abcd" {
+		t.Fatalf("String = %q, want abcd", w.String())
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(0, 4); err == nil {
+		t.Fatal("w=0 should error")
+	}
+	if _, err := NewEncoder(4, 1); err == nil {
+		t.Fatal("k=1 should error")
+	}
+}
+
+// TestFig3NormalizationDestroysLevel demonstrates the paper's Fig. 3: a big
+// consumer and a small consumer with the same *shape* get identical SAX
+// words after z-normalisation, while non-normalised quantisation keeps them
+// apart.
+func TestFig3NormalizationDestroysLevel(t *testing.T) {
+	shape := []float64{1, 1, 5, 5, 1, 1, 3, 3}
+	big := make([]float64, len(shape))
+	small := make([]float64, len(shape))
+	for i, v := range shape {
+		big[i] = v * 100  // consumer A: 100–500 W
+		small[i] = v * 10 // consumer C: 10–50 W
+	}
+	e, err := NewEncoder(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBig, _ := e.Encode(big)
+	wSmall, _ := e.Encode(small)
+	if wBig.String() != wSmall.String() {
+		t.Fatalf("z-normalised words differ: %v vs %v (normalisation should erase level)",
+			wBig, wSmall)
+	}
+	// Without normalisation (quantising absolute watts against N(0,1)
+	// breakpoints makes no sense, so scale to a shared range first), the
+	// words must differ. Use a shared max-scale like the paper's uniform.
+	sharedScale := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			out[i] = v/250 - 1 // map [0,500] roughly onto [-1,1]
+		}
+		return out
+	}
+	uBig, _ := e.EncodeWithoutNormalization(sharedScale(big))
+	uSmall, _ := e.EncodeWithoutNormalization(sharedScale(small))
+	if uBig.String() == uSmall.String() {
+		t.Fatalf("shared-scale words identical: %v — level information lost", uBig)
+	}
+}
+
+func TestMinDistLowerBoundsEuclidean(t *testing.T) {
+	// Property: MinDist(SAX(a), SAX(b)) <= Euclid(znorm(a), znorm(b)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()*10 + 50
+			b[i] = rng.NormFloat64()*25 + 30
+		}
+		e, err := NewEncoder(8, 8)
+		if err != nil {
+			return false
+		}
+		wa, err1 := e.Encode(a)
+		wb, err2 := e.Encode(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		md, err := e.MinDist(wa, wb, n)
+		if err != nil {
+			return false
+		}
+		za, zb := ZNormalize(a), ZNormalize(b)
+		var euclid float64
+		for i := range za {
+			d := za[i] - zb[i]
+			euclid += d * d
+		}
+		euclid = math.Sqrt(euclid)
+		return md <= euclid+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDistErrorsAndIdentity(t *testing.T) {
+	e, _ := NewEncoder(4, 4)
+	w1 := Word{Symbols: []int{0, 1, 2, 3}, K: 4}
+	w2 := Word{Symbols: []int{0, 1}, K: 4}
+	if _, err := e.MinDist(w1, w2, 16); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	w3 := Word{Symbols: []int{0, 1, 2, 3}, K: 8}
+	if _, err := e.MinDist(w1, w3, 16); err == nil {
+		t.Fatal("alphabet mismatch should error")
+	}
+	d, err := e.MinDist(w1, w1, 16)
+	if err != nil || d != 0 {
+		t.Fatalf("self distance = %v, %v", d, err)
+	}
+	// Adjacent symbols have distance 0 (SAX dist table).
+	wAdj := Word{Symbols: []int{1, 2, 3, 3}, K: 4}
+	d, _ = e.MinDist(w1, wAdj, 16)
+	if d != 0 {
+		t.Fatalf("adjacent-symbol distance = %v, want 0", d)
+	}
+}
+
+func TestWordStringLargeAlphabet(t *testing.T) {
+	w := Word{Symbols: []int{30}, K: 32}
+	if w.String() != "?" {
+		t.Fatalf("String = %q", w.String())
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import "container/heap"
+
+// RunningMedian maintains the exact median of a stream in O(log n) per
+// insertion using the classic two-heap technique. It backs the online
+// variants of the separator learners where a sensor wants to refresh its
+// lookup table periodically without re-sorting history.
+type RunningMedian struct {
+	lo maxHeap // values <= median
+	hi minHeap // values >= median
+}
+
+// Add inserts a value into the stream.
+func (r *RunningMedian) Add(x float64) {
+	if r.lo.Len() == 0 || x <= r.lo.data[0] {
+		heap.Push(&r.lo, x)
+	} else {
+		heap.Push(&r.hi, x)
+	}
+	// Rebalance so that len(lo) == len(hi) or len(lo) == len(hi)+1.
+	switch {
+	case r.lo.Len() > r.hi.Len()+1:
+		heap.Push(&r.hi, heap.Pop(&r.lo))
+	case r.hi.Len() > r.lo.Len():
+		heap.Push(&r.lo, heap.Pop(&r.hi))
+	}
+}
+
+// Count returns the number of values added.
+func (r *RunningMedian) Count() int { return r.lo.Len() + r.hi.Len() }
+
+// Median returns the current median: the middle element for odd counts, the
+// mean of the two middle elements for even counts. Zero for empty streams.
+func (r *RunningMedian) Median() float64 {
+	switch {
+	case r.Count() == 0:
+		return 0
+	case r.lo.Len() > r.hi.Len():
+		return r.lo.data[0]
+	default:
+		return (r.lo.data[0] + r.hi.data[0]) / 2
+	}
+}
+
+type maxHeap struct{ data []float64 }
+
+func (h maxHeap) Len() int            { return len(h.data) }
+func (h maxHeap) Less(i, j int) bool  { return h.data[i] > h.data[j] }
+func (h maxHeap) Swap(i, j int)       { h.data[i], h.data[j] = h.data[j], h.data[i] }
+func (h *maxHeap) Push(x interface{}) { h.data = append(h.data, x.(float64)) }
+func (h *maxHeap) Pop() interface{} {
+	n := len(h.data)
+	x := h.data[n-1]
+	h.data = h.data[:n-1]
+	return x
+}
+
+type minHeap struct{ data []float64 }
+
+func (h minHeap) Len() int            { return len(h.data) }
+func (h minHeap) Less(i, j int) bool  { return h.data[i] < h.data[j] }
+func (h minHeap) Swap(i, j int)       { h.data[i], h.data[j] = h.data[j], h.data[i] }
+func (h *minHeap) Push(x interface{}) { h.data = append(h.data, x.(float64)) }
+func (h *minHeap) Pop() interface{} {
+	n := len(h.data)
+	x := h.data[n-1]
+	h.data = h.data[:n-1]
+	return x
+}

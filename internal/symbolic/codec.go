@@ -1,0 +1,207 @@
+package symbolic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec packs fixed-level symbol sequences into dense bit strings, realising
+// the paper's storage arithmetic (§2.3): k symbols cost log2(k) bits each,
+// so a day of 16-symbol/15-minute data is 96 symbols × 4 bits = 384 bits.
+//
+// Wire format: a 5-byte header (magic 'S', level byte, uint24 count) followed
+// by ceil(count·level/8) payload bytes, symbols packed MSB-first.
+
+const codecMagic = 'S'
+
+// maxPackCount bounds a packed sequence (uint24 count field).
+const maxPackCount = 1<<24 - 1
+
+// Pack encodes a fixed-level symbol sequence. All symbols must share the
+// same level (mixed-resolution streams should be coarsened first or packed
+// in separate runs).
+func Pack(symbols []Symbol) ([]byte, error) {
+	if len(symbols) > maxPackCount {
+		return nil, fmt.Errorf("symbolic: cannot pack %d symbols (max %d)", len(symbols), maxPackCount)
+	}
+	level := 0
+	if len(symbols) > 0 {
+		level = symbols[0].Level()
+	}
+	if level == 0 && len(symbols) > 0 {
+		return nil, errors.New("symbolic: cannot pack level-0 symbols")
+	}
+	for i, s := range symbols {
+		if s.Level() != level {
+			return nil, fmt.Errorf("symbolic: mixed levels: symbol %d has level %d, want %d", i, s.Level(), level)
+		}
+	}
+	payloadBits := len(symbols) * level
+	out := make([]byte, 5+(payloadBits+7)/8)
+	out[0] = codecMagic
+	out[1] = byte(level)
+	out[2] = byte(len(symbols) >> 16)
+	out[3] = byte(len(symbols) >> 8)
+	out[4] = byte(len(symbols))
+	bitPos := 0
+	payload := out[5:]
+	for _, s := range symbols {
+		idx := uint32(s.Index())
+		for b := level - 1; b >= 0; b-- {
+			if idx>>uint(b)&1 == 1 {
+				payload[bitPos/8] |= 1 << uint(7-bitPos%8)
+			}
+			bitPos++
+		}
+	}
+	return out, nil
+}
+
+// Unpack decodes a packed symbol sequence.
+func Unpack(data []byte) ([]Symbol, error) {
+	if len(data) < 5 {
+		return nil, errors.New("symbolic: packed data too short")
+	}
+	if data[0] != codecMagic {
+		return nil, fmt.Errorf("symbolic: bad magic byte %#x", data[0])
+	}
+	level := int(data[1])
+	count := int(data[2])<<16 | int(data[3])<<8 | int(data[4])
+	if count == 0 {
+		return []Symbol{}, nil
+	}
+	if level < 1 || level > MaxLevel {
+		return nil, fmt.Errorf("symbolic: bad level %d", level)
+	}
+	need := 5 + (count*level+7)/8
+	if len(data) < need {
+		return nil, fmt.Errorf("symbolic: truncated payload: have %d bytes, need %d", len(data), need)
+	}
+	payload := data[5:]
+	out := make([]Symbol, count)
+	bitPos := 0
+	for i := 0; i < count; i++ {
+		var idx uint32
+		for b := 0; b < level; b++ {
+			idx <<= 1
+			if payload[bitPos/8]>>uint(7-bitPos%8)&1 == 1 {
+				idx |= 1
+			}
+			bitPos++
+		}
+		out[i] = Symbol{index: idx, level: uint8(level)}
+	}
+	return out, nil
+}
+
+// PackedSize returns the packed byte size of n symbols at the given level,
+// including the header.
+func PackedSize(n, level int) int { return 5 + (n*level+7)/8 }
+
+// RawSize returns the byte size of n raw float64 measurements.
+func RawSize(n int) int { return 8 * n }
+
+// CompressionStats reproduces the §2.3 arithmetic for one day of data.
+type CompressionStats struct {
+	// RawSamples is the number of raw measurements per day.
+	RawSamples int
+	// RawBytes is RawSamples × 8 (measurements stored as doubles).
+	RawBytes int
+	// Symbols is the number of symbols per day after vertical segmentation.
+	Symbols int
+	// SymbolBits is Symbols × log2(k), the §2.3 payload size.
+	SymbolBits int
+	// PackedBytes includes this codec's framing header.
+	PackedBytes int
+	// Ratio is RawBytes / (SymbolBits/8): the headline numerosity reduction.
+	Ratio float64
+}
+
+// Compression computes the compression achieved by encoding data sampled
+// every samplePeriod seconds with alphabet size k and vertical window
+// `window` seconds, over one day.
+func Compression(samplePeriod, window int64, k int) (CompressionStats, error) {
+	if samplePeriod <= 0 || window <= 0 {
+		return CompressionStats{}, errors.New("symbolic: sample period and window must be positive")
+	}
+	a, err := NewAlphabet(k)
+	if err != nil {
+		return CompressionStats{}, err
+	}
+	var st CompressionStats
+	st.RawSamples = int(86400 / samplePeriod)
+	st.RawBytes = RawSize(st.RawSamples)
+	st.Symbols = int(86400 / window)
+	st.SymbolBits = st.Symbols * a.Level()
+	st.PackedBytes = PackedSize(st.Symbols, a.Level())
+	st.Ratio = float64(st.RawBytes) / (float64(st.SymbolBits) / 8)
+	return st, nil
+}
+
+// TableWireSize returns the bytes needed to ship a lookup table to the
+// aggregation server: a 3-byte header, min/max, k-1 separators and k
+// representative values as float64. The paper notes this cost "can be
+// amortized over time".
+func TableWireSize(k int) int {
+	return 3 + (2+(k-1)+k)*8
+}
+
+// MarshalTable serialises a table for transmission (header, level, min,
+// max, separators, representatives).
+func MarshalTable(t *Table) []byte {
+	buf := make([]byte, 0, TableWireSize(t.K())+2)
+	buf = append(buf, 'T', byte(t.Level()), byte(t.method))
+	le := binary.LittleEndian
+	appendF := func(v float64) {
+		var tmp [8]byte
+		le.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	appendF(t.min)
+	appendF(t.max)
+	for _, s := range t.separators {
+		appendF(s)
+	}
+	for _, r := range t.repr {
+		appendF(r)
+	}
+	return buf
+}
+
+// UnmarshalTable parses a table serialised by MarshalTable.
+func UnmarshalTable(data []byte) (*Table, error) {
+	if len(data) < 3 || data[0] != 'T' {
+		return nil, errors.New("symbolic: bad table frame")
+	}
+	level := int(data[1])
+	method := Method(data[2])
+	k := 1 << uint(level)
+	need := 3 + (2+k-1+k)*8
+	if len(data) != need {
+		return nil, fmt.Errorf("symbolic: table frame size %d, want %d", len(data), need)
+	}
+	le := binary.LittleEndian
+	off := 3
+	readF := func() float64 {
+		v := math.Float64frombits(le.Uint64(data[off : off+8]))
+		off += 8
+		return v
+	}
+	min := readF()
+	max := readF()
+	seps := make([]float64, k-1)
+	for i := range seps {
+		seps[i] = readF()
+	}
+	t, err := NewTable(k, seps, min, max)
+	if err != nil {
+		return nil, err
+	}
+	t.method = method
+	for i := 0; i < k; i++ {
+		t.repr[i] = readF()
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package symbolic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Distance measures over symbol sequences. The paper's customer-segmentation
+// scenario ("identifying customers having a similar consumption profile")
+// needs a notion of similarity between symbolic day-vectors; these measures
+// give the clustering substrate three options with different semantics:
+//
+//   - Hamming: positional disagreement count — purely nominal;
+//   - IndexDistance: L1 over bin indices — ordinal, cheap;
+//   - ValueDistance: L1 over the separators' value gaps — the analogue of
+//     SAX's MINDIST, lower-bounding the L1 distance of the underlying
+//     (vertically segmented) series.
+
+// ErrLengthMismatch reports sequences of different lengths.
+var ErrLengthMismatch = errors.New("symbolic: sequences have different lengths")
+
+// Hamming returns the number of positions where the sequences disagree.
+func Hamming(a, b []Symbol) (int, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// IndexDistance returns the L1 distance between bin indices. Both sequences
+// must be single-level; mixed levels should be coarsened first.
+func IndexDistance(a, b []Symbol) (int, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	d := 0
+	for i := range a {
+		if a[i].Level() != b[i].Level() {
+			return 0, fmt.Errorf("symbolic: level mismatch at %d: %d vs %d", i, a[i].Level(), b[i].Level())
+		}
+		diff := a[i].Index() - b[i].Index()
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d, nil
+}
+
+// ValueDistance returns the MINDIST-style lower bound on the L1 distance of
+// the underlying series: for each position, the gap between the two
+// symbols' value ranges under the table (0 when ranges touch or overlap).
+// Both sequences must be encoded with the given table.
+func ValueDistance(t *Table, a, b []Symbol) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	var sum float64
+	for i := range a {
+		d, err := t.SymbolGap(a[i], b[i])
+		if err != nil {
+			return 0, fmt.Errorf("symbolic: position %d: %w", i, err)
+		}
+		sum += d
+	}
+	return sum, nil
+}
+
+// SymbolGap returns the value gap between two symbols' ranges: zero for
+// equal or adjacent bins, otherwise the distance between the facing
+// separators — the cell distance of the SAX dist table generalised to
+// data-driven separators.
+func (t *Table) SymbolGap(a, b Symbol) (float64, error) {
+	if a.Level() != t.Level() || b.Level() != t.Level() {
+		return 0, fmt.Errorf("symbolic: symbol levels %d/%d do not match table level %d",
+			a.Level(), b.Level(), t.Level())
+	}
+	lo, hi := a.Index(), b.Index()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi-lo <= 1 {
+		return 0, nil
+	}
+	return t.separators[hi-1] - t.separators[lo], nil
+}
+
+// SeriesDistance computes ValueDistance between two symbol series sharing a
+// table, matching points by position.
+func SeriesDistance(a, b *SymbolSeries) (float64, error) {
+	if a.Table != b.Table {
+		// Different table pointers may still be equal tables; require exact
+		// sharing to keep semantics unambiguous.
+		return 0, errors.New("symbolic: series must share one lookup table")
+	}
+	return ValueDistance(a.Table, a.Symbols(), b.Symbols())
+}
+
+// NearestSymbol returns the index (into candidates) of the candidate
+// sequence closest to the query by ValueDistance, breaking ties toward the
+// lower index. It returns -1 for no candidates.
+func NearestSymbol(t *Table, query []Symbol, candidates [][]Symbol) (int, error) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, c := range candidates {
+		d, err := ValueDistance(t, query, c)
+		if err != nil {
+			return 0, err
+		}
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best, nil
+}

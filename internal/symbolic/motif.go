@@ -1,0 +1,134 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Motif and discord discovery over symbol sequences — the analytics the SAX
+// line of work (which the paper positions itself against) is best known
+// for, ported to symmeter's data-driven alphabet. Because symbols are plain
+// nominal strings, subsequences can be grouped by exact word match (motifs)
+// and ranked by nearest-neighbour distance (discords) without touching raw
+// values — one more instance of the paper's claim that algorithms "which
+// usually work on nominal and string" apply directly.
+
+// Motif is a repeated symbol word and where it occurs.
+type Motif struct {
+	// Word is the symbol subsequence, as its binary-string form.
+	Word string
+	// Positions are the starting indices of each occurrence.
+	Positions []int
+}
+
+// Count returns the number of occurrences.
+func (m Motif) Count() int { return len(m.Positions) }
+
+// FindMotifs returns the most frequent length-w symbol words in the series,
+// most frequent first (ties broken lexicographically); words occurring only
+// once are omitted. Overlapping occurrences of the same word are counted
+// once per starting position but trivial self-overlaps (next position
+// inside the previous occurrence) are skipped, the standard convention.
+func FindMotifs(ss *SymbolSeries, w int, top int) ([]Motif, error) {
+	if w <= 0 || w > ss.Len() {
+		return nil, fmt.Errorf("symbolic: motif length %d out of range [1,%d]", w, ss.Len())
+	}
+	if top <= 0 {
+		top = 3
+	}
+	strs := ss.Strings()
+	occurrences := make(map[string][]int)
+	lastAt := make(map[string]int)
+	for i := 0; i+w <= len(strs); i++ {
+		key := joinWord(strs[i : i+w])
+		if prev, seen := lastAt[key]; seen && i < prev+w {
+			continue // trivial overlap
+		}
+		occurrences[key] = append(occurrences[key], i)
+		lastAt[key] = i
+	}
+	motifs := make([]Motif, 0, len(occurrences))
+	for word, pos := range occurrences {
+		if len(pos) < 2 {
+			continue
+		}
+		motifs = append(motifs, Motif{Word: word, Positions: pos})
+	}
+	sort.Slice(motifs, func(i, j int) bool {
+		if len(motifs[i].Positions) != len(motifs[j].Positions) {
+			return len(motifs[i].Positions) > len(motifs[j].Positions)
+		}
+		return motifs[i].Word < motifs[j].Word
+	})
+	if len(motifs) > top {
+		motifs = motifs[:top]
+	}
+	return motifs, nil
+}
+
+func joinWord(parts []string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, p := range parts {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, p...)
+	}
+	return string(buf)
+}
+
+// Discord is the subsequence most distant from its nearest non-overlapping
+// neighbour — the series' strongest anomaly (HOT SAX semantics).
+type Discord struct {
+	// Position is the starting index of the discord subsequence.
+	Position int
+	// Distance is the ValueDistance to its nearest non-overlapping
+	// neighbour.
+	Distance float64
+}
+
+// FindDiscord scans all length-w subsequences with the brute-force
+// nearest-neighbour search and returns the one whose nearest
+// non-overlapping neighbour is farthest (by the table's value-gap
+// distance). O(n²·w); fine at day-vector scales (n ≤ a few thousand).
+func FindDiscord(ss *SymbolSeries, w int) (Discord, error) {
+	n := ss.Len()
+	if w <= 0 || n < 2*w {
+		return Discord{}, fmt.Errorf("symbolic: need at least 2w=%d symbols, have %d", 2*w, n)
+	}
+	syms := ss.Symbols()
+	best := Discord{Position: -1, Distance: -1}
+	for i := 0; i+w <= n; i++ {
+		nearest := -1.0
+		for j := 0; j+w <= n; j++ {
+			if abs(i-j) < w {
+				continue // overlapping subsequences are not neighbours
+			}
+			d, err := ValueDistance(ss.Table, syms[i:i+w], syms[j:j+w])
+			if err != nil {
+				return Discord{}, err
+			}
+			if nearest < 0 || d < nearest {
+				nearest = d
+				if nearest == 0 {
+					break // cannot be a discord; early abandon
+				}
+			}
+		}
+		if nearest > best.Distance {
+			best = Discord{Position: i, Distance: nearest}
+		}
+	}
+	return best, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

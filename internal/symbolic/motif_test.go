@@ -1,0 +1,121 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"symmeter/internal/timeseries"
+)
+
+// motifFixture builds a symbol series over a noisy base with a planted
+// repeating pattern and one planted anomaly.
+func motifFixture(t *testing.T) *SymbolSeries {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]float64, 0, 400)
+	pattern := []float64{100, 100, 900, 900, 100}
+	for block := 0; block < 20; block++ {
+		if block == 13 {
+			// The anomaly: an inverted, extreme excursion.
+			vals = append(vals, 2900, 2900, 50, 50, 2900)
+			continue
+		}
+		for _, p := range pattern {
+			vals = append(vals, p+rng.Float64()*20)
+		}
+	}
+	// A uniform table keeps each pattern level inside one wide bin, so the
+	// planted repeats produce identical words despite the noise. (A median
+	// table would deliberately split the dense low band across several bins
+	// — maximum-entropy symbols are the wrong tool for exact-match motifs,
+	// which is itself a §4 "optimal segmentation is task-relative" fact.)
+	table, err := Learn(MethodUniform, vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Horizontal(timeseries.FromValues("m", 0, 1, vals), table)
+}
+
+func TestFindMotifsFindsPlantedPattern(t *testing.T) {
+	ss := motifFixture(t)
+	motifs, err := FindMotifs(ss, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs found")
+	}
+	// The planted 5-symbol pattern repeats 19 times; the top motif must
+	// cover most of those blocks.
+	if motifs[0].Count() < 10 {
+		t.Fatalf("top motif occurs %d times, want >= 10 (%q)", motifs[0].Count(), motifs[0].Word)
+	}
+	// Occurrences must be non-trivially separated.
+	for i := 1; i < len(motifs[0].Positions); i++ {
+		if motifs[0].Positions[i]-motifs[0].Positions[i-1] < 5 {
+			t.Fatalf("overlapping occurrences: %v", motifs[0].Positions[:i+1])
+		}
+	}
+}
+
+func TestFindMotifsValidation(t *testing.T) {
+	ss := motifFixture(t)
+	if _, err := FindMotifs(ss, 0, 3); err == nil {
+		t.Fatal("w=0 should error")
+	}
+	if _, err := FindMotifs(ss, ss.Len()+1, 3); err == nil {
+		t.Fatal("w>n should error")
+	}
+	// top defaults to 3.
+	motifs, err := FindMotifs(ss, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) > 3 {
+		t.Fatalf("default top = %d", len(motifs))
+	}
+}
+
+func TestFindDiscordFindsPlantedAnomaly(t *testing.T) {
+	ss := motifFixture(t)
+	d, err := FindDiscord(ss, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The anomaly occupies positions 65..69 (block 13 × 5).
+	if d.Position < 60 || d.Position > 69 {
+		t.Fatalf("discord at %d, want within the planted anomaly block (65±5)", d.Position)
+	}
+	if d.Distance <= 0 {
+		t.Fatalf("discord distance = %v", d.Distance)
+	}
+}
+
+func TestFindDiscordValidation(t *testing.T) {
+	ss := motifFixture(t)
+	if _, err := FindDiscord(ss, 0); err == nil {
+		t.Fatal("w=0 should error")
+	}
+	if _, err := FindDiscord(ss, ss.Len()); err == nil {
+		t.Fatal("w too large should error")
+	}
+}
+
+func TestFindDiscordUniformSeriesHasZeroDistance(t *testing.T) {
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 100
+	}
+	table, err := Learn(MethodUniform, append(vals, 1000), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := Horizontal(timeseries.FromValues("u", 0, 1, vals), table)
+	d, err := FindDiscord(ss, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Distance != 0 {
+		t.Fatalf("constant series discord distance = %v, want 0", d.Distance)
+	}
+}

@@ -1,0 +1,125 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+
+	"symmeter/internal/stats"
+)
+
+// StreamingTableBuilder learns a median lookup table in O(k) memory using
+// one P² quantile estimator per separator — the sensor-side variant of
+// TableBuilder, which buffers every historical value. The paper's setting
+// is exactly this: "the lookup table is built once at the sensor level",
+// and a meter has kilobytes, not two days of 1 Hz floats.
+//
+// Only MethodMedian is supported: uniform needs just the maximum (track it
+// yourself) and distinctmedian needs a distinct-value set, which has no
+// bounded-memory sketch with exact semantics.
+type StreamingTableBuilder struct {
+	k          int
+	estimators []*stats.P2Quantile
+	// binSum/binCount approximate per-bin representatives against the
+	// *current* estimates; exactness is not required (representatives are a
+	// reconstruction nicety, re-estimated continuously).
+	binSum   []float64
+	binCount []int
+	min, max float64
+	count    int
+}
+
+// NewStreamingTableBuilder prepares k-1 P² estimators for a k-symbol
+// median table.
+func NewStreamingTableBuilder(k int) (*StreamingTableBuilder, error) {
+	if _, err := NewAlphabet(k); err != nil {
+		return nil, err
+	}
+	b := &StreamingTableBuilder{
+		k:        k,
+		binSum:   make([]float64, k),
+		binCount: make([]int, k),
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+	}
+	for i := 1; i < k; i++ {
+		e, err := stats.NewP2Quantile(float64(i) / float64(k))
+		if err != nil {
+			return nil, err
+		}
+		b.estimators = append(b.estimators, e)
+	}
+	return b, nil
+}
+
+// Push feeds one historical measurement value.
+func (b *StreamingTableBuilder) Push(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	b.count++
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	for _, e := range b.estimators {
+		e.Add(v)
+	}
+	// Approximate representative accumulation against current estimates.
+	bin := 0
+	for i, e := range b.estimators {
+		if v > e.Value() {
+			bin = i + 1
+		}
+	}
+	b.binSum[bin] += v
+	b.binCount[bin]++
+}
+
+// Count returns how many values were pushed.
+func (b *StreamingTableBuilder) Count() int { return b.count }
+
+// MemoryFootprint returns the approximate number of float64 values held —
+// the quantity the sensor cares about (contrast with TableBuilder, which
+// holds Count() floats).
+func (b *StreamingTableBuilder) MemoryFootprint() int {
+	// 15 floats per P² estimator (markers, positions, desired positions)
+	// plus the per-bin accumulators and min/max.
+	return 15*len(b.estimators) + 2*b.k + 2
+}
+
+// Build produces the approximate median table. It needs enough data for
+// the P² estimators to be meaningful (at least ~5k values).
+func (b *StreamingTableBuilder) Build() (*Table, error) {
+	if b.count < 5*b.k {
+		return nil, fmt.Errorf("symbolic: streaming builder needs at least %d values, has %d", 5*b.k, b.count)
+	}
+	seps := make([]float64, b.k-1)
+	for i, e := range b.estimators {
+		seps[i] = e.Value()
+	}
+	// P² estimates are independent; enforce monotonicity defensively.
+	for i := 1; i < len(seps); i++ {
+		if seps[i] < seps[i-1] {
+			seps[i] = seps[i-1]
+		}
+	}
+	t, err := NewTable(b.k, seps, b.min, b.max)
+	if err != nil {
+		return nil, err
+	}
+	t.method = MethodMedian
+	repr := make([]float64, b.k)
+	for i := range repr {
+		if b.binCount[i] > 0 {
+			repr[i] = b.binSum[i] / float64(b.binCount[i])
+		} else {
+			repr[i] = math.NaN()
+		}
+	}
+	if err := t.SetRepresentatives(repr); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package symbolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamingBuilderApproximatesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sb, err := NewStreamingTableBuilder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	for i := 0; i < 30000; i++ {
+		v := math.Exp(rng.NormFloat64()*0.7 + 5)
+		sb.Push(v)
+		values = append(values, v)
+	}
+	approx, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Learn(MethodMedian, values, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encodings must agree on the vast majority of values.
+	agree := 0
+	for _, v := range values[:5000] {
+		if approx.Encode(v) == exact.Encode(v) {
+			agree++
+		}
+	}
+	if agree < 4700 {
+		t.Fatalf("streaming/batch encodings agree on %d/5000", agree)
+	}
+	// And the memory story must hold: O(k), not O(n).
+	if sb.MemoryFootprint() > 200 {
+		t.Fatalf("memory footprint = %d floats", sb.MemoryFootprint())
+	}
+	if sb.Count() != 30000 {
+		t.Fatalf("Count = %d", sb.Count())
+	}
+}
+
+func TestStreamingBuilderValidation(t *testing.T) {
+	if _, err := NewStreamingTableBuilder(3); err == nil {
+		t.Fatal("k=3 should error")
+	}
+	sb, err := NewStreamingTableBuilder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Push(1)
+	sb.Push(math.NaN()) // ignored
+	if sb.Count() != 1 {
+		t.Fatalf("NaN must be ignored; Count = %d", sb.Count())
+	}
+	if _, err := sb.Build(); err == nil {
+		t.Fatal("too little data should error")
+	}
+}
+
+func TestStreamingBuilderReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sb, _ := NewStreamingTableBuilder(16)
+	var values []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 1000
+		sb.Push(v)
+		values = append(values, v)
+	}
+	table, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Method() != MethodMedian {
+		t.Fatalf("method = %v", table.Method())
+	}
+	var mae float64
+	for _, v := range values[:2000] {
+		r, err := table.Value(table.Encode(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae += math.Abs(r - v)
+	}
+	mae /= 2000
+	// 16 equal-mass bins over U[0,1000]: expected |err| ≈ width/4 ≈ 15.6.
+	if mae > 25 {
+		t.Fatalf("reconstruction MAE = %v, want < 25", mae)
+	}
+}
+
+func TestLloydMaxBeatsHeuristicsOnMSE(t *testing.T) {
+	// Lloyd–Max is the MSE-optimal scalar quantiser; on bimodal data it must
+	// beat uniform and median on squared reconstruction error.
+	rng := rand.New(rand.NewSource(9))
+	values := make([]float64, 8000)
+	for i := range values {
+		if i%2 == 0 {
+			values[i] = rng.NormFloat64()*20 + 100
+		} else {
+			values[i] = rng.NormFloat64()*50 + 2000
+		}
+	}
+	mse := func(m Method) float64 {
+		tab, err := Learn(m, values, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range values {
+			r, err := tab.Value(tab.Encode(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := r - v
+			sum += d * d
+		}
+		return sum / float64(len(values))
+	}
+	lm, med, uni := mse(MethodLloydMax), mse(MethodMedian), mse(MethodUniform)
+	if lm > med || lm > uni {
+		t.Fatalf("Lloyd-Max MSE %v not best (median %v, uniform %v)", lm, med, uni)
+	}
+}
+
+func TestLloydMaxMethodPlumbing(t *testing.T) {
+	m, err := ParseMethod("lloydmax")
+	if err != nil || m != MethodLloydMax {
+		t.Fatalf("ParseMethod = %v, %v", m, err)
+	}
+	if MethodLloydMax.String() != "lloydmax" {
+		t.Fatal("String")
+	}
+	tab, err := Learn(MethodLloydMax, []float64{1, 2, 3, 100, 200, 300}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Encode(2).Index() != 0 || tab.Encode(200).Index() != 1 {
+		t.Fatalf("Lloyd-Max separators = %v", tab.Separators())
+	}
+}

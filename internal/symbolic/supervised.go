@@ -1,0 +1,189 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the paper's §4 "utility-driven horizontal
+// segmentation" direction in two forms:
+//
+//   - ExpertTable builds a table from expert-chosen thresholds, the §3.2
+//     example ("an expert who is interested on two segmentation: low and
+//     high consumption ... an alphabet of size 2");
+//   - LearnSupervised chooses separators to maximise information gain about
+//     a supervision signal (class labels, e.g. house identity or peak/
+//     off-peak periods) via recursive entropy-minimising binary splits —
+//     quantisation optimised for "the performances of a chosen analytics".
+
+// ExpertTable builds a lookup table from explicit separators supplied by a
+// domain expert. The number of separators must be k-1 for a power-of-two k.
+// min/max close the outer ranges for reconstruction centers.
+func ExpertTable(separators []float64, min, max float64) (*Table, error) {
+	k := len(separators) + 1
+	t, err := NewTable(k, separators, min, max)
+	if err != nil {
+		return nil, err
+	}
+	t.method = MethodNone
+	return t, nil
+}
+
+// LearnSupervised learns a k-symbol table whose separators maximise the
+// information gain about the provided labels: the value range is split
+// recursively, each time placing a separator at the boundary that minimises
+// the label entropy of the two sides (the Fayyad–Irani style cut), always
+// refining the current interval with the highest weighted impurity.
+//
+// values and labels must have equal length; labels are arbitrary small
+// non-negative ints.
+func LearnSupervised(values []float64, labels []int, k int) (*Table, error) {
+	if len(values) == 0 || len(values) != len(labels) {
+		return nil, fmt.Errorf("symbolic: supervised learning needs equal, non-zero values and labels")
+	}
+	if _, err := NewAlphabet(k); err != nil {
+		return nil, err
+	}
+	nl := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("symbolic: negative label %d", l)
+		}
+		if l >= nl {
+			nl = l + 1
+		}
+	}
+
+	// Sort once by value, carrying labels.
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	sv := make([]float64, len(values))
+	sl := make([]int, len(values))
+	for i, j := range idx {
+		sv[i] = values[j]
+		sl[i] = labels[j]
+	}
+
+	// Greedy recursive splitting: maintain intervals [lo, hi) over the
+	// sorted arrays; repeatedly split the interval whose split yields the
+	// largest entropy reduction until k bins exist.
+	type interval struct {
+		lo, hi   int
+		cut      int     // best cut position (index of first right element)
+		gain     float64 // weighted entropy reduction of the best cut
+		hasCut   bool
+		cutValue float64
+	}
+	evaluate := func(lo, hi int) interval {
+		iv := interval{lo: lo, hi: hi}
+		n := hi - lo
+		if n < 2 {
+			return iv
+		}
+		total := make([]float64, nl)
+		for i := lo; i < hi; i++ {
+			total[sl[i]]++
+		}
+		parent := entropyCounts(total)
+		left := make([]float64, nl)
+		bestGain := 0.0
+		bestCut := -1
+		var nLeft float64
+		for i := lo; i < hi-1; i++ {
+			left[sl[i]]++
+			nLeft++
+			if sv[i] == sv[i+1] {
+				continue
+			}
+			right := make([]float64, nl)
+			for c := 0; c < nl; c++ {
+				right[c] = total[c] - left[c]
+			}
+			w := nLeft / float64(n)
+			info := w*entropyCounts(left) + (1-w)*entropyCounts(right)
+			if g := parent - info; g > bestGain {
+				bestGain = g
+				bestCut = i + 1
+			}
+		}
+		if bestCut >= 0 {
+			iv.hasCut = true
+			iv.cut = bestCut
+			iv.gain = bestGain * float64(n) // weight by interval size
+			iv.cutValue = (sv[bestCut-1] + sv[bestCut]) / 2
+		}
+		return iv
+	}
+
+	intervals := []interval{evaluate(0, len(sv))}
+	var seps []float64
+	for len(intervals) < k {
+		// Pick the interval with the best weighted gain.
+		best := -1
+		for i, iv := range intervals {
+			if iv.hasCut && (best < 0 || iv.gain > intervals[best].gain) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// No informative cut remains: fall back to median splits of the
+			// largest interval so the alphabet still has k symbols.
+			largest := 0
+			for i, iv := range intervals {
+				if iv.hi-iv.lo > intervals[largest].hi-intervals[largest].lo {
+					largest = i
+				}
+			}
+			iv := intervals[largest]
+			mid := (iv.lo + iv.hi) / 2
+			// Move mid to a value boundary.
+			for mid > iv.lo && mid < iv.hi && sv[mid] == sv[mid-1] {
+				mid++
+			}
+			if mid <= iv.lo || mid >= iv.hi {
+				return nil, fmt.Errorf("symbolic: cannot find %d distinct bins (only %d distinct value groups)", k, len(intervals))
+			}
+			cutValue := (sv[mid-1] + sv[mid]) / 2
+			seps = append(seps, cutValue)
+			intervals[largest] = evaluate(iv.lo, mid)
+			intervals = append(intervals, evaluate(mid, iv.hi))
+			continue
+		}
+		iv := intervals[best]
+		seps = append(seps, iv.cutValue)
+		intervals[best] = evaluate(iv.lo, iv.cut)
+		intervals = append(intervals, evaluate(iv.cut, iv.hi))
+	}
+
+	sort.Float64s(seps)
+	min, max := sv[0], sv[len(sv)-1]
+	t, err := NewTable(k, seps, min, max)
+	if err != nil {
+		return nil, err
+	}
+	t.method = MethodNone
+	t.learnRepresentatives(values)
+	return t, nil
+}
+
+func entropyCounts(counts []float64) float64 {
+	var n float64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := c / n
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

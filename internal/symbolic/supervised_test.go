@@ -1,0 +1,156 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExpertTableLowHigh(t *testing.T) {
+	// The paper's §3.2 example: "low" below a threshold, "high" above it.
+	tab, err := ExpertTable([]float64{500}, 0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.K() != 2 {
+		t.Fatalf("k = %d", tab.K())
+	}
+	if tab.Encode(100).String() != "0" || tab.Encode(900).String() != "1" {
+		t.Fatal("threshold semantics wrong")
+	}
+	if tab.Encode(500).String() != "0" {
+		t.Fatal("boundary belongs to the low symbol (Definition 3)")
+	}
+}
+
+func TestExpertTableValidation(t *testing.T) {
+	if _, err := ExpertTable([]float64{1, 2}, 0, 10); err == nil {
+		t.Fatal("k=3 should be rejected")
+	}
+	if _, err := ExpertTable([]float64{2, 1, 3}, 0, 10); err == nil {
+		t.Fatal("unsorted separators should be rejected")
+	}
+}
+
+func TestLearnSupervisedSeparatesClasses(t *testing.T) {
+	// Two labels living in different value bands with a noisy boundary:
+	// the learned k=2 separator should land near the band boundary (1000),
+	// unlike the unsupervised median which lands at the data median (≈550
+	// here because the classes are imbalanced).
+	rng := rand.New(rand.NewSource(5))
+	var values []float64
+	var labels []int
+	for i := 0; i < 900; i++ {
+		values = append(values, 100+rng.Float64()*800) // 100..900
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 300; i++ {
+		values = append(values, 1100+rng.Float64()*800) // 1100..1900
+		labels = append(labels, 1)
+	}
+	sup, err := LearnSupervised(values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := sup.Separators()[0]
+	if sep < 900 || sep > 1100 {
+		t.Fatalf("supervised separator %v should sit in the class gap (900,1100)", sep)
+	}
+	med, err := Learn(MethodMedian, values, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medSep := med.Separators()[0]; medSep > 900 {
+		t.Fatalf("median separator %v unexpectedly in the gap — test setup broken", medSep)
+	}
+}
+
+func TestLearnSupervisedK4RefinesInformatively(t *testing.T) {
+	// Four labelled bands; k=4 should place all three separators between
+	// bands.
+	var values []float64
+	var labels []int
+	bands := []struct{ lo, hi float64 }{{0, 10}, {20, 30}, {40, 50}, {60, 70}}
+	rng := rand.New(rand.NewSource(6))
+	for li, b := range bands {
+		for i := 0; i < 100; i++ {
+			values = append(values, b.lo+rng.Float64()*(b.hi-b.lo))
+			labels = append(labels, li)
+		}
+	}
+	tab, err := LearnSupervised(values, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seps := tab.Separators()
+	wantGaps := [][2]float64{{10, 20}, {30, 40}, {50, 60}}
+	for i, s := range seps {
+		if s < wantGaps[i][0] || s > wantGaps[i][1] {
+			t.Fatalf("separator %d = %v outside gap %v", i, s, wantGaps[i])
+		}
+	}
+	// Encoding should almost perfectly predict the label.
+	correct := 0
+	for i, v := range values {
+		if tab.Encode(v).Index() == labels[i] {
+			correct++
+		}
+	}
+	if correct < len(values)*99/100 {
+		t.Fatalf("supervised encoding matches labels %d/%d", correct, len(values))
+	}
+}
+
+func TestLearnSupervisedUninformativeLabelsFallsBack(t *testing.T) {
+	// All labels equal: no informative cut exists; the learner falls back
+	// to median-style splits but still delivers k bins.
+	values := make([]float64, 64)
+	labels := make([]int, 64)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	tab, err := LearnSupervised(values, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.K() != 4 {
+		t.Fatalf("k = %d", tab.K())
+	}
+	seps := tab.Separators()
+	for i := 1; i < len(seps); i++ {
+		if seps[i] <= seps[i-1] {
+			t.Fatalf("separators not increasing: %v", seps)
+		}
+	}
+}
+
+func TestLearnSupervisedErrors(t *testing.T) {
+	if _, err := LearnSupervised(nil, nil, 2); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := LearnSupervised([]float64{1}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := LearnSupervised([]float64{1, 2}, []int{0, -1}, 2); err == nil {
+		t.Fatal("negative label should error")
+	}
+	if _, err := LearnSupervised([]float64{1, 2}, []int{0, 1}, 3); err == nil {
+		t.Fatal("k=3 should error")
+	}
+	// Too few distinct values for k bins.
+	if _, err := LearnSupervised([]float64{1, 1, 1, 1}, []int{0, 0, 1, 1}, 4); err == nil {
+		t.Fatal("indivisible data should error")
+	}
+}
+
+func TestLearnSupervisedRepresentatives(t *testing.T) {
+	values := []float64{1, 2, 100, 200}
+	labels := []int{0, 0, 1, 1}
+	tab, err := LearnSupervised(values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := tab.Value(NewSymbol(0, 1))
+	if err != nil || v0 != 1.5 {
+		t.Fatalf("representative = %v, %v", v0, err)
+	}
+}

@@ -1,0 +1,36 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"symmeter/internal/timeseries"
+)
+
+// VerticalAverage implements Definition 2 exactly: it aggregates every n
+// consecutive measurements of S into one averaged measurement, stamping each
+// aggregate with the timestamp of its last constituent (t̄_i = t_{i·n}).
+// A trailing partial group of fewer than n measurements is dropped, matching
+// the definition (which only defines complete groups).
+//
+// This is the count-based form of vertical segmentation. For wall-clock
+// aligned aggregation over gappy data, use timeseries.Series.Resample, which
+// the experiment pipeline uses so that 15-minute symbols stay aligned to the
+// quarter hour across missing data.
+func VerticalAverage(s *timeseries.Series, n int) (*timeseries.Series, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("symbolic: vertical segmentation needs n > 0, got %d", n)
+	}
+	count := s.Len() / n
+	pts := make([]timeseries.Point, 0, count)
+	for g := 0; g < count; g++ {
+		var sum float64
+		for i := g * n; i < (g+1)*n; i++ {
+			sum += s.Points[i].V
+		}
+		pts = append(pts, timeseries.Point{
+			T: s.Points[(g+1)*n-1].T,
+			V: sum / float64(n),
+		})
+	}
+	return &timeseries.Series{Name: fmt.Sprintf("VA(%s,%d)", s.Name, n), Points: pts}, nil
+}

@@ -1,0 +1,60 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the series as "timestamp,value" lines with a header.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "timestamp,value\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", p.T, strconv.FormatFloat(p.V, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a series from "timestamp,value" lines. A single header line
+// is skipped if its first field is not numeric.
+func ReadCSV(name string, r io.Reader) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pts []Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, ',')
+		if i < 0 {
+			return nil, fmt.Errorf("timeseries: line %d: missing comma", lineNo)
+		}
+		tField, vField := line[:i], line[i+1:]
+		t, err := strconv.ParseInt(strings.TrimSpace(tField), 10, 64)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("timeseries: line %d: bad timestamp %q", lineNo, tField)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(vField), 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: line %d: bad value %q", lineNo, vField)
+		}
+		pts = append(pts, Point{T: t, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(name, pts)
+}

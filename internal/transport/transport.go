@@ -1,0 +1,290 @@
+// Package transport implements the sensor → aggregation-server protocol the
+// paper sketches in §2: "the lookup table is built once at the sensor level
+// and then sent to the aggregation server before starting to send the
+// symbolic data", with support for "rebuilding and resending the lookup
+// table periodically or if the distribution of the data changes too much".
+//
+// The wire format is length-prefixed frames over any io.Writer/io.Reader
+// (tested over bytes.Buffer and net.Pipe):
+//
+//	frame   = type(1) | length(uint32 BE) | payload
+//	'T'     = lookup table (symbolic.MarshalTable payload)
+//	'S'     = symbol batch: firstT(int64 BE) | window(int64 BE) | packed
+//	          symbols of consecutive windows (symbolic.Pack payload)
+//	'E'     = end of stream (empty payload)
+//
+// A batch holds symbols of consecutive windows only; the sensor starts a
+// new batch when a data gap breaks consecutiveness, so timestamps are
+// reconstructed exactly.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+)
+
+// Frame types.
+const (
+	frameTable  = 'T'
+	frameSymbol = 'S'
+	frameEnd    = 'E'
+)
+
+// maxFrame bounds payload sizes against corrupted length fields.
+const maxFrame = 16 << 20
+
+// writeFrame emits one frame. Empty payloads are never written separately:
+// a zero-length Write would block forever on fully synchronous transports
+// like net.Pipe, whose writes always wait for a matching read while
+// ReadFull with an empty buffer never issues one.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. It returns io.EOF only for a clean stream end
+// (no header bytes at all); a header without its payload is a truncated
+// stream and surfaces as io.ErrUnexpectedEOF.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // io.EOF for clean end, ErrUnexpectedEOF for torn header
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// Sensor encodes raw measurements and streams table + symbol frames.
+type Sensor struct {
+	w         io.Writer
+	enc       *symbolic.Encoder
+	window    int64
+	batchSize int
+
+	batch       []symbolic.Symbol
+	batchFirstT int64
+	nextT       int64
+	closed      bool
+}
+
+// NewSensor writes the table frame and returns a streaming sensor emitting
+// one symbol per window seconds, batching up to batchSize consecutive
+// symbols per frame (default 96).
+func NewSensor(w io.Writer, table *symbolic.Table, window int64, batchSize int) (*Sensor, error) {
+	if table == nil {
+		return nil, errors.New("transport: sensor needs a table")
+	}
+	if window <= 0 {
+		return nil, errors.New("transport: window must be positive")
+	}
+	if batchSize <= 0 {
+		batchSize = 96
+	}
+	if err := writeFrame(w, frameTable, symbolic.MarshalTable(table)); err != nil {
+		return nil, err
+	}
+	return &Sensor{
+		w:         w,
+		enc:       symbolic.NewEncoder(table, window),
+		window:    window,
+		batchSize: batchSize,
+	}, nil
+}
+
+// Push feeds one measurement; completed windows are buffered and flushed as
+// batches fill or gaps break consecutiveness.
+func (s *Sensor) Push(p timeseries.Point) error {
+	if s.closed {
+		return errors.New("transport: sensor closed")
+	}
+	sp, ok, err := s.enc.Push(p)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	return s.buffer(sp)
+}
+
+func (s *Sensor) buffer(sp symbolic.SymbolPoint) error {
+	if len(s.batch) > 0 && sp.T != s.nextT {
+		if err := s.flushBatch(); err != nil {
+			return err
+		}
+	}
+	if len(s.batch) == 0 {
+		s.batchFirstT = sp.T
+	}
+	s.batch = append(s.batch, sp.S)
+	s.nextT = sp.T + s.window
+	if len(s.batch) >= s.batchSize {
+		return s.flushBatch()
+	}
+	return nil
+}
+
+// UpdateTable resends a new lookup table (the §2/§4 adaptive path). Pending
+// symbols encoded with the old table are flushed first.
+func (s *Sensor) UpdateTable(table *symbolic.Table) error {
+	if s.closed {
+		return errors.New("transport: sensor closed")
+	}
+	if err := s.flushBatch(); err != nil {
+		return err
+	}
+	// Encoder state: a partially filled window was encoded by the old
+	// encoder; flush it so no window straddles tables.
+	if sp, ok := s.enc.Flush(); ok {
+		if err := s.sendBatch(sp.T, []symbolic.Symbol{sp.S}); err != nil {
+			return err
+		}
+	}
+	if err := writeFrame(s.w, frameTable, symbolic.MarshalTable(table)); err != nil {
+		return err
+	}
+	s.enc = symbolic.NewEncoder(table, s.window)
+	return nil
+}
+
+// flushBatch sends the pending batch frame, if any.
+func (s *Sensor) flushBatch() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	err := s.sendBatch(s.batchFirstT, s.batch)
+	s.batch = s.batch[:0]
+	return err
+}
+
+func (s *Sensor) sendBatch(firstT int64, symbols []symbolic.Symbol) error {
+	packed, err := symbolic.Pack(symbols)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 16+len(packed))
+	binary.BigEndian.PutUint64(payload[0:8], uint64(firstT))
+	binary.BigEndian.PutUint64(payload[8:16], uint64(s.window))
+	copy(payload[16:], packed)
+	return writeFrame(s.w, frameSymbol, payload)
+}
+
+// Close flushes the trailing window and batch and writes the end frame.
+func (s *Sensor) Close() error {
+	if s.closed {
+		return nil
+	}
+	if sp, ok := s.enc.Flush(); ok {
+		if err := s.buffer(sp); err != nil {
+			return err
+		}
+	}
+	if err := s.flushBatch(); err != nil {
+		return err
+	}
+	s.closed = true
+	return writeFrame(s.w, frameEnd, nil)
+}
+
+// Server decodes the sensor stream back into timestamped symbols, tracking
+// table updates.
+type Server struct {
+	r io.Reader
+	// Tables holds every table received, in order; the last is current.
+	Tables []*symbolic.Table
+	// Points holds the decoded symbol stream.
+	Points []symbolic.SymbolPoint
+	// TableAt[i] indexes Tables for Points[i] (symbols before a table
+	// update decode against the older table).
+	TableAt []int
+}
+
+// NewServer wraps a reader.
+func NewServer(r io.Reader) *Server { return &Server{r: r} }
+
+// ReadAll consumes frames until the end frame or EOF.
+func (s *Server) ReadAll() error {
+	for {
+		typ, payload, err := readFrame(s.r)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameTable:
+			t, err := symbolic.UnmarshalTable(payload)
+			if err != nil {
+				return fmt.Errorf("transport: bad table frame: %w", err)
+			}
+			s.Tables = append(s.Tables, t)
+		case frameSymbol:
+			if len(s.Tables) == 0 {
+				return errors.New("transport: symbol frame before any table")
+			}
+			if len(payload) < 16 {
+				return errors.New("transport: short symbol frame")
+			}
+			firstT := int64(binary.BigEndian.Uint64(payload[0:8]))
+			window := int64(binary.BigEndian.Uint64(payload[8:16]))
+			if window <= 0 {
+				return errors.New("transport: bad window in symbol frame")
+			}
+			symbols, err := symbolic.Unpack(payload[16:])
+			if err != nil {
+				return fmt.Errorf("transport: bad symbol frame: %w", err)
+			}
+			for i, sym := range symbols {
+				s.Points = append(s.Points, symbolic.SymbolPoint{
+					T: firstT + int64(i)*window,
+					S: sym,
+				})
+				s.TableAt = append(s.TableAt, len(s.Tables)-1)
+			}
+		case frameEnd:
+			return nil
+		default:
+			return fmt.Errorf("transport: unknown frame type %#x", typ)
+		}
+	}
+}
+
+// Reconstruct maps the decoded symbols to representative values using the
+// table that was current when each symbol was sent.
+func (s *Server) Reconstruct() (*timeseries.Series, error) {
+	pts := make([]timeseries.Point, len(s.Points))
+	for i, sp := range s.Points {
+		table := s.Tables[s.TableAt[i]]
+		v, err := table.Value(sp.S)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = timeseries.Point{T: sp.T, V: v}
+	}
+	return timeseries.New("reconstructed", pts)
+}

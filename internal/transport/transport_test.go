@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+)
+
+func testTable(t *testing.T) *symbolic.Table {
+	t.Helper()
+	vals := make([]float64, 512)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	table, err := symbolic.Learn(symbolic.MethodMedian, vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var want []symbolic.SymbolPoint
+	enc := symbolic.NewEncoder(table, 60)
+	for i := int64(0); i < 600; i++ {
+		p := timeseries.Point{T: i, V: rng.Float64() * 1000}
+		if err := sensor.Push(p); err != nil {
+			t.Fatal(err)
+		}
+		if sp, ok, _ := enc.Push(p); ok {
+			want = append(want, sp)
+		}
+	}
+	if sp, ok := enc.Flush(); ok {
+		want = append(want, sp)
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	server := NewServer(&buf)
+	if err := server.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(server.Tables) != 1 {
+		t.Fatalf("tables = %d", len(server.Tables))
+	}
+	if len(server.Points) != len(want) {
+		t.Fatalf("points = %d, want %d", len(server.Points), len(want))
+	}
+	for i := range want {
+		if server.Points[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, server.Points[i], want[i])
+		}
+	}
+}
+
+func TestGapStartsNewBatch(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two windows, a 50-second hole, two more windows.
+	for _, ts := range []int64{0, 5, 10, 15, 70, 75, 80, 85} {
+		if err := sensor.Push(timeseries.Point{T: ts, V: 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(&buf)
+	if err := server.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Windows: [0,10) [10,20) [70,80) [80,90) → T = 10,20,80,90.
+	wantT := []int64{10, 20, 80, 90}
+	if len(server.Points) != len(wantT) {
+		t.Fatalf("points = %d, want %d", len(server.Points), len(wantT))
+	}
+	for i, w := range wantT {
+		if server.Points[i].T != w {
+			t.Fatalf("T[%d] = %d, want %d", i, server.Points[i].T, w)
+		}
+	}
+}
+
+func TestTableUpdateMidStream(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New table with a different range (drifted data).
+	vals := make([]float64, 128)
+	for i := range vals {
+		vals[i] = 4000 + float64(i)*10
+	}
+	table2, err := symbolic.Learn(symbolic.MethodMedian, vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sensor.UpdateTable(table2); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(100); i < 200; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 4500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	server := NewServer(&buf)
+	if err := server.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(server.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(server.Tables))
+	}
+	recon, err := server.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early points decode near 100, late points near 4500: the server must
+	// apply the right table per segment.
+	early, _ := recon.At(10)
+	late := recon.Points[recon.Len()-1].V
+	if math.Abs(early-100) > 100 {
+		t.Fatalf("early reconstruction = %v, want ~100", early)
+	}
+	if math.Abs(late-4500) > 300 {
+		t.Fatalf("late reconstruction = %v, want ~4500", late)
+	}
+}
+
+func TestOverNetPipe(t *testing.T) {
+	table := testTable(t)
+	client, srvConn := net.Pipe()
+	// net.Pipe is fully synchronous; deadlines turn any protocol stall into
+	// an error instead of a hang.
+	deadline := time.Now().Add(30 * time.Second)
+	_ = client.SetDeadline(deadline)
+	_ = srvConn.SetDeadline(deadline)
+
+	done := make(chan error, 1)
+	server := NewServer(srvConn)
+	go func() {
+		done <- server.ReadAll()
+	}()
+	sensor, err := NewSensor(client, table, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(server.Points) != 20 {
+		t.Fatalf("points = %d, want 20", len(server.Points))
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	// Symbol frame before any table.
+	var buf bytes.Buffer
+	payload := make([]byte, 16)
+	if err := writeFrame(&buf, frameSymbol, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewServer(&buf).ReadAll(); err == nil {
+		t.Fatal("symbol before table should error")
+	}
+	// Unknown frame type.
+	buf.Reset()
+	if err := writeFrame(&buf, 'X', nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewServer(&buf).ReadAll(); err == nil {
+		t.Fatal("unknown frame should error")
+	}
+	// Truncated frame.
+	buf.Reset()
+	buf.Write([]byte{frameTable, 0, 0, 1, 0}) // claims 256 bytes, has none
+	if err := NewServer(&buf).ReadAll(); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+	// Oversized length field.
+	buf.Reset()
+	buf.Write([]byte{frameTable, 0xFF, 0xFF, 0xFF, 0xFF})
+	if err := NewServer(&buf).ReadAll(); err == nil {
+		t.Fatal("oversized frame should error")
+	}
+	// Clean EOF without end frame is accepted (stream cut).
+	buf.Reset()
+	if err := NewServer(&buf).ReadAll(); err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestSensorValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewSensor(&buf, nil, 10, 4); err == nil {
+		t.Fatal("nil table should error")
+	}
+	if _, err := NewSensor(&buf, testTable(t), 0, 4); err == nil {
+		t.Fatal("zero window should error")
+	}
+	sensor, err := NewSensor(&buf, testTable(t), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sensor.batchSize != 96 {
+		t.Fatalf("default batch size = %d", sensor.batchSize)
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sensor.Push(timeseries.Point{}); err == nil {
+		t.Fatal("push after close should error")
+	}
+	if err := sensor.UpdateTable(testTable(t)); err == nil {
+		t.Fatal("update after close should error")
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestCorruptedPayloadSurfaces(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip the level byte of the table frame payload: the frame length no
+	// longer matches the declared alphabet and decoding must fail loudly.
+	data[6] ^= 0xFF
+	if err := NewServer(bytes.NewReader(data)).ReadAll(); err == nil {
+		t.Fatal("corrupted table frame should error")
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)
