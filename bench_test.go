@@ -20,6 +20,7 @@ import (
 	"symmeter/internal/dataset"
 	"symmeter/internal/experiments"
 	"symmeter/internal/sax"
+	"symmeter/internal/server"
 	"symmeter/internal/stats"
 	"symmeter/internal/symbolic"
 	"symmeter/internal/timeseries"
@@ -324,6 +325,53 @@ func BenchmarkTransportDay(b *testing.B) {
 		if len(server.Points) == 0 {
 			b.Fatal("no symbols delivered")
 		}
+	}
+}
+
+// BenchmarkFleetIngest measures concurrent ingest through the aggregation
+// service: M meters learn their tables, connect over real TCP on loopback
+// and stream the first hour of a day at 1 Hz, all in parallel. The reported
+// sym/s is end-to-end fleet throughput (generation + encoding + wire +
+// sharded store), the trajectory metric for every future scaling PR.
+func BenchmarkFleetIngest(b *testing.B) {
+	for _, meters := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("meters=%d", meters), func(b *testing.B) {
+			var symbols int64
+			for i := 0; i < b.N; i++ {
+				svc := server.New(server.Config{Shards: 16})
+				addr, err := svc.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := server.RunFleet(addr.String(), server.FleetConfig{
+					Meters:        meters,
+					Days:          1,
+					SecondsPerDay: 3600,
+					Window:        60,
+					Seed:          1,
+					DisableGaps:   true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc.Drain()
+				if errs := svc.SessionErrors(); len(errs) > 0 {
+					b.Fatal(errs[0])
+				}
+				for _, m := range rep.Meters {
+					if m.Err != nil {
+						b.Fatal(m.Err)
+					}
+				}
+				got := int64(svc.Store().TotalSymbols())
+				if want := int64(meters * 3600 / 60); got != want {
+					b.Fatalf("ingested %d symbols, want %d", got, want)
+				}
+				symbols += got
+				svc.Close()
+			}
+			b.ReportMetric(float64(symbols)/b.Elapsed().Seconds(), "sym/s")
+		})
 	}
 }
 

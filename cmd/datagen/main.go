@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -17,23 +19,36 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		out    = flag.String("out", "data", "output directory")
-		seed   = flag.Int64("seed", 1, "dataset seed")
-		houses = flag.Int("houses", 6, "number of houses")
-		days   = flag.Int("days", 7, "days per house")
-		house  = flag.Int("house", 0, "write only this house (1-based; 0 = all)")
-		mains  = flag.Bool("mains", false, "write the two mains channels instead of the total")
-		window = flag.Int64("window", 1, "resample window in seconds (1 = raw 1 Hz)")
-		noGaps = flag.Bool("no-gaps", false, "disable missing-data simulation")
+		outDir = fs.String("out", "data", "output directory")
+		seed   = fs.Int64("seed", 1, "dataset seed")
+		houses = fs.Int("houses", 6, "number of houses")
+		days   = fs.Int("days", 7, "days per house")
+		house  = fs.Int("house", 0, "write only this house (1-based; 0 = all)")
+		mains  = fs.Bool("mains", false, "write the two mains channels instead of the total")
+		window = fs.Int64("window", 1, "resample window in seconds (1 = raw 1 Hz)")
+		noGaps = fs.Bool("no-gaps", false, "disable missing-data simulation")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	gen := dataset.New(dataset.Config{
 		Seed: *seed, Houses: *houses, Days: *days, DisableGaps: *noGaps,
 	})
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
 	}
 	first, last := 0, gen.Houses()
 	if *house > 0 {
@@ -41,8 +56,8 @@ func main() {
 	}
 	for h := first; h < last; h++ {
 		if *mains {
-			if err := writeMains(gen, h, *days, *window, *out); err != nil {
-				fail(err)
+			if err := writeMains(gen, h, *days, *window, *outDir, out); err != nil {
+				return err
 			}
 			continue
 		}
@@ -50,13 +65,14 @@ func main() {
 		if *window <= 1 {
 			s = gen.House(h, 0, *days)
 		}
-		if err := writeSeries(s, filepath.Join(*out, fmt.Sprintf("house%d.csv", h+1))); err != nil {
-			fail(err)
+		if err := writeSeries(s, filepath.Join(*outDir, fmt.Sprintf("house%d.csv", h+1)), out); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func writeMains(gen *dataset.Generator, h, days int, window int64, out string) error {
+func writeMains(gen *dataset.Generator, h, days int, window int64, outDir string, out io.Writer) error {
 	var m0all, m1all []timeseries.Point
 	for d := 0; d < days; d++ {
 		m0, m1 := gen.MainsDay(h, d)
@@ -68,15 +84,15 @@ func writeMains(gen *dataset.Generator, h, days int, window int64, out string) e
 	}
 	for i, pts := range [][]timeseries.Point{m0all, m1all} {
 		s := timeseries.MustNew(fmt.Sprintf("house%d/mains%d", h+1, i+1), pts)
-		path := filepath.Join(out, fmt.Sprintf("house%d_mains%d.csv", h+1, i+1))
-		if err := writeSeries(s, path); err != nil {
+		path := filepath.Join(outDir, fmt.Sprintf("house%d_mains%d.csv", h+1, i+1))
+		if err := writeSeries(s, path, out); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeSeries(s *timeseries.Series, path string) error {
+func writeSeries(s *timeseries.Series, path string, out io.Writer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -85,7 +101,7 @@ func writeSeries(s *timeseries.Series, path string) error {
 	if err := s.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d points)\n", path, s.Len())
+	fmt.Fprintf(out, "wrote %s (%d points)\n", path, s.Len())
 	return f.Close()
 }
 
@@ -94,9 +110,4 @@ func maxInt64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "datagen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symmeter/internal/timeseries"
+)
+
+func TestDatagenWritesHouseCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-houses", "1", "-days", "1", "-window", "3600", "-no-gaps",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "house1.csv")
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("output does not mention %s:\n%s", path, out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := timeseries.ReadCSV(path, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 24 { // one gap-free day at 1-hour resolution
+		t.Fatalf("house1.csv has %d points, want 24", s.Len())
+	}
+}
+
+func TestDatagenMains(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-house", "1", "-days", "1", "-window", "3600", "-mains", "-no-gaps",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"house1_mains1.csv", "house1_mains2.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestDatagenBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-days", "x"}, &out); err == nil {
+		t.Fatal("bad flag value should error")
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +22,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run regenerates the requested artifacts; figures print to stdout.
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		run    = flag.String("run", "all", "which artifact to regenerate: fig1..fig9|table1|compression|drift|clustering|privacy|ablation|all (comma-separated list accepted)")
-		seed   = flag.Int64("seed", 1, "dataset seed")
-		houses = flag.Int("houses", 6, "number of houses")
-		days   = flag.Int("days", 24, "days per house")
-		quick  = flag.Bool("quick", false, "smaller dataset and no raw-1sec row (for smoke runs)")
+		runArg = fs.String("run", "all", "which artifact to regenerate: fig1..fig9|table1|compression|drift|clustering|privacy|ablation|all (comma-separated list accepted)")
+		seed   = fs.Int64("seed", 1, "dataset seed")
+		houses = fs.Int("houses", 6, "number of houses")
+		days   = fs.Int("days", 24, "days per house")
+		quick  = fs.Bool("quick", false, "smaller dataset and no raw-1sec row (for smoke runs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	cfg := experiments.Config{Seed: *seed, Houses: *houses, Days: *days}
 	if *quick {
@@ -53,8 +68,8 @@ func main() {
 		"privacy":     runPrivacy,
 		"ablation":    runAblation,
 	}
-	names := strings.Split(*run, ",")
-	if *run == "all" {
+	names := strings.Split(*runArg, ",")
+	if *runArg == "all" {
 		names = []string{"fig1", "fig2", "fig3", "fig4", "compression",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "drift",
 			"clustering", "privacy", "ablation", "table1"}
@@ -67,14 +82,13 @@ func main() {
 				known = append(known, k)
 			}
 			sort.Strings(known)
-			fmt.Fprintf(os.Stderr, "unknown artifact %q; known: %s\n", name, strings.Join(known, " "))
-			os.Exit(2)
+			return fmt.Errorf("unknown artifact %q; known: %s", name, strings.Join(known, " "))
 		}
 		if err := fn(p, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", name, err)
 		}
 	}
+	return nil
 }
 
 func header(title string) {

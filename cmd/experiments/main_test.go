@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed (the figure runners write to stdout directly).
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, out)
+	}
+	return out
+}
+
+func TestExperimentsFig1Smoke(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-run", "fig1", "-houses", "1", "-days", "3"})
+	})
+	if !strings.Contains(out, "Fig. 1") {
+		t.Errorf("missing figure header:\n%s", out)
+	}
+	for _, level := range []string{"level 1:", "level 2:", "level 3:"} {
+		if !strings.Contains(out, level) {
+			t.Errorf("missing %q in fig1 output:\n%s", level, out)
+		}
+	}
+}
+
+func TestExperimentsUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("unknown artifact should error")
+	}
+	if err := run([]string{"-days", "x"}); err == nil {
+		t.Fatal("bad flag value should error")
+	}
+}

@@ -1,106 +1,104 @@
-// Command serve demonstrates the §2 deployment story over a real TCP
-// connection on localhost: an aggregation server listens, a simulated smart
-// meter connects, learns its lookup table from two days of history, streams
-// a day of symbols (with 15-minute vertical segmentation), and the server
-// reconstructs approximate consumption and prints a summary.
+// Command serve demonstrates the §2 deployment story at fleet scale over
+// real TCP on localhost: a concurrent aggregation server listens with a
+// sharded in-memory store, M simulated smart meters connect in parallel,
+// each handshakes with its meter ID, learns a lookup table from two days of
+// history, streams days of symbols (15-minute vertical segmentation by
+// default), and the server reconstructs approximate consumption per meter
+// and prints a summary — per-meter MAE, total symbols/sec, bytes on wire.
 //
-//	serve            # run both ends over 127.0.0.1
-//	serve -addr :7070 -days 3
+//	serve                        # 4 meters, 16 shards, 1 day each
+//	serve -meters 64 -shards 32 -days 3
+//	serve -meters 2 -seconds 3600    # only the first hour of each day
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"net"
+	"io"
 	"os"
+	"time"
 
-	"symmeter/internal/dataset"
+	"symmeter/internal/server"
 	"symmeter/internal/symbolic"
-	"symmeter/internal/transport"
 )
 
 func main() {
-	var (
-		addr   = flag.String("addr", "127.0.0.1:0", "listen address")
-		seed   = flag.Int64("seed", 1, "dataset seed")
-		days   = flag.Int("days", 1, "days of live data to stream after the 2 training days")
-		k      = flag.Int("k", 16, "alphabet size")
-		window = flag.Int64("window", 900, "vertical window seconds")
-	)
-	flag.Parse()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail(err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
 	}
-	defer ln.Close()
-	fmt.Printf("server listening on %s\n", ln.Addr())
-
-	serverDone := make(chan error, 1)
-	var server *transport.Server
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			serverDone <- err
-			return
-		}
-		defer conn.Close()
-		server = transport.NewServer(conn)
-		serverDone <- server.ReadAll()
-	}()
-
-	// Sensor side.
-	gen := dataset.New(dataset.Config{Seed: *seed, Houses: 1, Days: 2 + *days})
-	var builder symbolic.TableBuilder
-	builder.PushSeries(gen.HouseDay(0, 0))
-	builder.PushSeries(gen.HouseDay(0, 1))
-	table, err := builder.Build(symbolic.MethodMedian, *k)
-	if err != nil {
-		fail(err)
-	}
-
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		fail(err)
-	}
-	sensor, err := transport.NewSensor(conn, table, *window, 96)
-	if err != nil {
-		fail(err)
-	}
-	sent := 0
-	for d := 2; d < 2+*days; d++ {
-		day := gen.HouseDay(0, d)
-		for _, p := range day.Points {
-			if err := sensor.Push(p); err != nil {
-				fail(err)
-			}
-			sent++
-		}
-	}
-	if err := sensor.Close(); err != nil {
-		fail(err)
-	}
-	conn.Close()
-
-	if err := <-serverDone; err != nil {
-		fail(err)
-	}
-	recon, err := server.Reconstruct()
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("sensor: %d raw measurements -> %d symbols over TCP\n", sent, len(server.Points))
-	fmt.Printf("server: received %d table(s); reconstructed series spans [%d, %d]\n",
-		len(server.Tables), recon.Start(), recon.End())
-	st := recon.Summary()
-	fmt.Printf("server view: mean %.1f W, min %.1f W, max %.1f W\n", st.Mean, st.Min, st.Max)
-	fmt.Printf("bytes on the wire: ~%d for the table + ~%d for symbols (raw would be %d)\n",
-		symbolic.TableWireSize(*k),
-		symbolic.PackedSize(len(server.Points), table.Level())+5*(len(server.Points)/96+1),
-		symbolic.RawSize(sent))
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "serve:", err)
-	os.Exit(1)
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:0", "listen address")
+		meters  = fs.Int("meters", 4, "number of concurrent simulated meters")
+		shards  = fs.Int("shards", 16, "store shard count")
+		days    = fs.Int("days", 1, "days of live data each meter streams after its 2 training days")
+		seconds = fs.Int64("seconds", 0, "cap each day to its first N seconds (0 = whole day)")
+		seed    = fs.Int64("seed", 1, "dataset seed (meter i uses seed+i)")
+		k       = fs.Int("k", 16, "alphabet size")
+		window  = fs.Int64("window", 900, "vertical window seconds")
+		relearn = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	svc := server.New(server.Config{Shards: *shards})
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Fprintf(out, "server listening on %s (%d shards)\n", bound, svc.Store().NumShards())
+
+	start := time.Now()
+	rep, err := server.RunFleet(bound.String(), server.FleetConfig{
+		Meters:        *meters,
+		Days:          *days,
+		SecondsPerDay: *seconds,
+		Window:        *window,
+		K:             *k,
+		Seed:          *seed,
+		RelearnPerDay: *relearn,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Drain()
+	elapsed := time.Since(start)
+	rep.Evaluate(svc.Store())
+
+	const maxLines = 16
+	for i, m := range rep.Meters {
+		if i == maxLines && len(rep.Meters) > maxLines+1 {
+			fmt.Fprintf(out, "  ... %d more meters\n", len(rep.Meters)-maxLines)
+			break
+		}
+		if m.Err != nil {
+			fmt.Fprintf(out, "  meter %4d: FAILED: %v\n", m.MeterID, m.Err)
+			continue
+		}
+		fmt.Fprintf(out, "  meter %4d: %d raw -> %d symbols, MAE %.1f W\n",
+			m.MeterID, m.Sent, m.Symbols, m.MAE)
+	}
+
+	st := svc.Stats()
+	rate := float64(st.Symbols) / elapsed.Seconds()
+	fmt.Fprintf(out, "fleet: %d meters sent %d raw measurements -> %d symbols in %v (%.0f symbols/sec)\n",
+		len(rep.Meters), rep.Sent, st.Symbols, elapsed.Round(time.Millisecond), rate)
+	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",
+		st.BytesIn, symbolic.RawSize(rep.Sent))
+	if errs := svc.SessionErrors(); len(errs) > 0 {
+		fmt.Fprintf(out, "session errors: %d (first: %v)\n", len(errs), errs[0])
+		return fmt.Errorf("%d of %d sessions failed", len(errs), len(rep.Meters))
+	}
+	fmt.Fprintln(out, "session errors: 0")
+	return nil
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeEndToEnd runs the whole binary in-process: a real listener on
+// 127.0.0.1:0, two concurrent meters, and the printed reconstruction
+// summary.
+func TestServeEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-meters", "2", "-shards", "4", "-seconds", "600", "-window", "60",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"server listening on 127.0.0.1:",
+		"(4 shards)",
+		"fleet: 2 meters",
+		"symbols/sec)",
+		"bytes in",
+		"session errors: 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "raw -> "); n != 2 {
+		t.Errorf("want 2 per-meter summary lines, got %d:\n%s", n, got)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-meters", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad flag value should error")
+	}
+	if err := run([]string{"-meters", "0"}, &out); err == nil {
+		t.Fatal("zero meters should error")
+	}
+}

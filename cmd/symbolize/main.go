@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"symmeter/internal/symbolic"
@@ -17,41 +19,53 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "symbolize:", err)
+		os.Exit(1)
+	}
+}
+
+// run symbolizes one CSV file: symbols go to out, diagnostics to diag.
+func run(args []string, out, diag io.Writer) error {
+	fs := flag.NewFlagSet("symbolize", flag.ContinueOnError)
 	var (
-		in        = flag.String("in", "", "input CSV path (required)")
-		method    = flag.String("method", "median", "separator method: uniform|median|distinctmedian")
-		k         = flag.Int("k", 16, "alphabet size (power of two)")
-		window    = flag.Int64("window", 900, "vertical aggregation window in seconds (0 = none)")
-		trainFrac = flag.Float64("train", 0.25, "fraction of the series used to learn the lookup table")
-		packPath  = flag.String("pack", "", "write bit-packed symbols to this file instead of stdout")
-		tablePath = flag.String("table", "", "write the serialised lookup table to this file")
+		in        = fs.String("in", "", "input CSV path (required)")
+		method    = fs.String("method", "median", "separator method: uniform|median|distinctmedian")
+		k         = fs.Int("k", 16, "alphabet size (power of two)")
+		window    = fs.Int64("window", 900, "vertical aggregation window in seconds (0 = none)")
+		trainFrac = fs.Float64("train", 0.25, "fraction of the series used to learn the lookup table")
+		packPath  = fs.String("pack", "", "write bit-packed symbols to this file instead of stdout")
+		tablePath = fs.String("table", "", "write the serialised lookup table to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "symbolize: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("-in is required")
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	series, err := timeseries.ReadCSV(*in, f)
 	f.Close()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if series.Empty() {
-		fail(fmt.Errorf("%s: no data", *in))
+		return fmt.Errorf("%s: no data", *in)
 	}
 
 	m, err := symbolic.ParseMethod(*method)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *trainFrac <= 0 || *trainFrac >= 1 {
-		fail(fmt.Errorf("train fraction %v must be in (0,1)", *trainFrac))
+		return fmt.Errorf("train fraction %v must be in (0,1)", *trainFrac)
 	}
 	split := int(float64(series.Len()) * *trainFrac)
 	if split < 1 {
@@ -61,41 +75,37 @@ func main() {
 	builder.PushSeries(&timeseries.Series{Name: "train", Points: series.Points[:split]})
 	table, err := builder.Build(m, *k)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rest := &timeseries.Series{Name: series.Name, Points: series.Points[split:]}
 	ss, err := symbolic.EncodeSeries(rest, table, *window)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "table: %s\n", table)
-	fmt.Fprintf(os.Stderr, "encoded %d measurements into %d symbols\n", rest.Len(), ss.Len())
+	fmt.Fprintf(diag, "table: %s\n", table)
+	fmt.Fprintf(diag, "encoded %d measurements into %d symbols\n", rest.Len(), ss.Len())
 
 	if *tablePath != "" {
 		if err := os.WriteFile(*tablePath, symbolic.MarshalTable(table), 0o644); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote table to %s (%d bytes)\n", *tablePath, symbolic.TableWireSize(*k))
+		fmt.Fprintf(diag, "wrote table to %s (%d bytes)\n", *tablePath, symbolic.TableWireSize(*k))
 	}
 	if *packPath != "" {
 		data, err := symbolic.Pack(ss.Symbols())
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := os.WriteFile(*packPath, data, 0o644); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d packed bytes to %s (raw would be %d bytes)\n",
+		fmt.Fprintf(diag, "wrote %d packed bytes to %s (raw would be %d bytes)\n",
 			len(data), *packPath, symbolic.RawSize(rest.Len()))
-		return
+		return nil
 	}
 	for _, p := range ss.Points {
-		fmt.Printf("%d %s\n", p.T, p.S)
+		fmt.Fprintf(out, "%d %s\n", p.T, p.S)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "symbolize:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeTestCSV writes a small "timestamp,value" series and returns its path.
+func writeTestCSV(t *testing.T, rows int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("timestamp,value\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,%g\n", i, 100+float64(i%50)*10)
+	}
+	path := filepath.Join(t.TempDir(), "series.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var symbolLine = regexp.MustCompile(`^\d+ \S+$`)
+
+func TestSymbolizePrintsSymbols(t *testing.T) {
+	in := writeTestCSV(t, 4000)
+	var out, diag bytes.Buffer
+	err := run([]string{"-in", in, "-window", "60", "-k", "8"}, &out, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "encoded 3000 measurements") {
+		t.Errorf("diagnostics missing encode summary:\n%s", diag.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 40 {
+		t.Fatalf("only %d symbol lines for 3000 points at 60 s windows", len(lines))
+	}
+	for _, l := range lines {
+		if !symbolLine.MatchString(l) {
+			t.Fatalf("malformed symbol line %q", l)
+		}
+	}
+}
+
+func TestSymbolizePackAndTable(t *testing.T) {
+	in := writeTestCSV(t, 2000)
+	dir := t.TempDir()
+	pack := filepath.Join(dir, "symbols.bin")
+	table := filepath.Join(dir, "table.bin")
+	var out, diag bytes.Buffer
+	err := run([]string{
+		"-in", in, "-window", "60", "-k", "8", "-pack", pack, "-table", table,
+	}, &out, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-pack should suppress stdout symbols, got %q", out.String())
+	}
+	for _, path := range []string{pack, table} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestSymbolizeErrors(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run(nil, &out, &diag); err == nil {
+		t.Fatal("missing -in should error")
+	}
+	if err := run([]string{"-in", "no-such-file.csv"}, &out, &diag); err == nil {
+		t.Fatal("unreadable input should error")
+	}
+	in := writeTestCSV(t, 100)
+	if err := run([]string{"-in", in, "-train", "2"}, &out, &diag); err == nil {
+		t.Fatal("train fraction outside (0,1) should error")
+	}
+}

@@ -1,0 +1,3 @@
+module symmeter
+
+go 1.24

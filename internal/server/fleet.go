@@ -1,0 +1,266 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"symmeter/internal/dataset"
+	"symmeter/internal/symbolic"
+	"symmeter/internal/timeseries"
+	"symmeter/internal/transport"
+)
+
+// FleetConfig describes a simulated meter fleet.
+type FleetConfig struct {
+	// Meters is the number of concurrent sensors (required, ≥ 1).
+	Meters int
+	// Days of live data each meter streams after its training days.
+	Days int
+	// TrainDays of history each meter learns its table from (default 2,
+	// the paper's bootstrap).
+	TrainDays int
+	// SecondsPerDay caps how much of each day is used, both for training
+	// and streaming (0 = the whole 86400-second day). Benchmarks use this
+	// to trade realism for wall-clock.
+	SecondsPerDay int64
+	// Window is the vertical segmentation window in seconds (default 900).
+	Window int64
+	// K is the alphabet size (default 16).
+	K int
+	// BatchSize is symbols per 'S' frame (default 96).
+	BatchSize int
+	// Seed offsets each meter's synthetic generator; meter i uses Seed+i.
+	Seed int64
+	// RelearnPerDay rebuilds the table from each finished day and resends
+	// it mid-stream (the §2.2 adaptive path) — exercises 'T' updates under
+	// concurrent load.
+	RelearnPerDay bool
+	// DisableGaps turns off the generator's missing-data simulation.
+	DisableGaps bool
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.TrainDays <= 0 {
+		c.TrainDays = 2
+	}
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 900
+	}
+	if c.K <= 0 {
+		c.K = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 96
+	}
+	return c
+}
+
+// MeterReport is one meter's end-to-end outcome.
+type MeterReport struct {
+	MeterID uint64
+	// Sent is the raw measurements pushed into the sensor.
+	Sent int
+	// Symbols is how many reconstructed points the server stored (filled
+	// by Evaluate).
+	Symbols int
+	// Matched is how many of those aligned with a ground-truth window
+	// (filled by Evaluate).
+	Matched int
+	// MAE is the mean absolute error in watts between the server's
+	// reconstruction and the true window averages (filled by Evaluate).
+	MAE float64
+	// Err is the sensor-side failure, nil on success.
+	Err error
+
+	truth []timeseries.Point
+}
+
+// FleetReport aggregates a fleet run.
+type FleetReport struct {
+	Meters []MeterReport
+	// Sent is total raw measurements across the fleet.
+	Sent int
+}
+
+// truthTracker records per-window true averages by driving a parallel
+// symbolic.Encoder, so fleet ground truth inherits the sensor's window
+// alignment (and its out-of-order rejection) by construction instead of
+// re-implementing it.
+type truthTracker struct {
+	enc *symbolic.Encoder
+	out []timeseries.Point
+}
+
+func newTruthTracker(table *symbolic.Table, window int64) *truthTracker {
+	return &truthTracker{enc: symbolic.NewEncoder(table, window)}
+}
+
+func (tt *truthTracker) push(p timeseries.Point) error {
+	sp, avg, ok, err := tt.enc.PushWithValue(p)
+	if err != nil {
+		return err
+	}
+	if ok {
+		tt.out = append(tt.out, timeseries.Point{T: sp.T, V: avg})
+	}
+	return nil
+}
+
+func (tt *truthTracker) flush() {
+	if sp, avg, ok := tt.enc.FlushWithValue(); ok {
+		tt.out = append(tt.out, timeseries.Point{T: sp.T, V: avg})
+	}
+}
+
+// RunFleet dials addr once per meter and streams each meter's data over its
+// own TCP connection, all concurrently. It returns when every sensor has
+// closed its connection; drain the service before evaluating.
+func RunFleet(addr string, cfg FleetConfig) (*FleetReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Meters < 1 {
+		return nil, fmt.Errorf("server: fleet needs at least one meter, got %d", cfg.Meters)
+	}
+	rep := &FleetReport{Meters: make([]MeterReport, cfg.Meters)}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Meters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep.Meters[i] = runMeter(addr, uint64(i+1), int64(i), cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := range rep.Meters {
+		rep.Sent += rep.Meters[i].Sent
+	}
+	return rep, nil
+}
+
+// dayPoints returns day d of the meter's series, capped to the configured
+// seconds-per-day prefix.
+func dayPoints(gen *dataset.Generator, d int, cap int64) []timeseries.Point {
+	day := gen.HouseDay(0, d)
+	pts := day.Points
+	if cap <= 0 {
+		return pts
+	}
+	limit := day.Start() + cap
+	for i, p := range pts {
+		if p.T >= limit {
+			return pts[:i]
+		}
+	}
+	return pts
+}
+
+func runMeter(addr string, id uint64, seedOff int64, cfg FleetConfig) MeterReport {
+	rep := MeterReport{MeterID: id}
+	fail := func(err error) MeterReport { rep.Err = err; return rep }
+
+	gen := dataset.New(dataset.Config{
+		Seed:        cfg.Seed + seedOff,
+		Houses:      1,
+		Days:        cfg.TrainDays + cfg.Days,
+		DisableGaps: cfg.DisableGaps,
+	})
+
+	var builder symbolic.TableBuilder
+	for d := 0; d < cfg.TrainDays; d++ {
+		for _, p := range dayPoints(gen, d, cfg.SecondsPerDay) {
+			builder.Push(p.V)
+		}
+	}
+	table, err := builder.Build(symbolic.MethodMedian, cfg.K)
+	if err != nil {
+		return fail(err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fail(err)
+	}
+	defer conn.Close()
+	if err := transport.WriteHandshake(conn, id); err != nil {
+		return fail(err)
+	}
+	sensor, err := transport.NewSensor(conn, table, cfg.Window, cfg.BatchSize)
+	if err != nil {
+		return fail(err)
+	}
+
+	truth := newTruthTracker(table, cfg.Window)
+	for d := cfg.TrainDays; d < cfg.TrainDays+cfg.Days; d++ {
+		pts := dayPoints(gen, d, cfg.SecondsPerDay)
+		var dayVals []float64
+		for _, p := range pts {
+			if err := sensor.Push(p); err != nil {
+				return fail(err)
+			}
+			if err := truth.push(p); err != nil {
+				return fail(err)
+			}
+			rep.Sent++
+			if cfg.RelearnPerDay {
+				dayVals = append(dayVals, p.V)
+			}
+		}
+		if cfg.RelearnPerDay && d < cfg.TrainDays+cfg.Days-1 && len(dayVals) > 0 {
+			next, err := symbolic.Learn(symbolic.MethodMedian, dayVals, cfg.K)
+			if err != nil {
+				return fail(err)
+			}
+			// UpdateTable flushes the encoder's partial window; mirror that
+			// in the ground truth so timestamps keep matching.
+			truth.flush()
+			if err := sensor.UpdateTable(next); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		return fail(err)
+	}
+	truth.flush()
+	rep.truth = truth.out
+	return rep
+}
+
+// Evaluate fills each MeterReport's server-side fields from the store:
+// symbol counts and the reconstruction MAE against the meter's true window
+// averages, matched by timestamp.
+func (r *FleetReport) Evaluate(store *Store) {
+	for i := range r.Meters {
+		m := &r.Meters[i]
+		st, ok := store.Snapshot(m.MeterID)
+		if !ok {
+			continue
+		}
+		m.Symbols = len(st.Points)
+		var sum float64
+		j := 0
+		for _, tp := range m.truth {
+			for j < len(st.Points) && st.Points[j].T < tp.T {
+				j++
+			}
+			if j < len(st.Points) && st.Points[j].T == tp.T {
+				sum += abs(tp.V - st.Points[j].V)
+				m.Matched++
+				j++
+			}
+		}
+		if m.Matched > 0 {
+			m.MAE = sum / float64(m.Matched)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

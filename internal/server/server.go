@@ -1,0 +1,177 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Shards is the store's lock-domain count; 0 picks a default of 16.
+	Shards int
+}
+
+// Stats is a point-in-time view of service counters.
+type Stats struct {
+	// Sessions is the number of connections accepted so far.
+	Sessions int64
+	// Active is the number of sessions currently running.
+	Active int64
+	// Symbols is the total number of symbols ingested into the store.
+	Symbols int64
+	// BytesIn is the total bytes read off all connections (the wire cost
+	// of tables, symbols and framing together).
+	BytesIn int64
+}
+
+// Service accepts sensor connections and runs one session goroutine per
+// meter, writing into a sharded Store.
+type Service struct {
+	store *Store
+
+	sessions atomic.Int64
+	active   atomic.Int64
+	symbols  atomic.Int64
+	bytesIn  atomic.Int64
+
+	mu      sync.Mutex
+	errs    []error
+	closers map[net.Conn]struct{}
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New returns an idle service with a fresh store.
+func New(cfg Config) *Service {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	return &Service{
+		store:   NewStore(shards),
+		closers: make(map[net.Conn]struct{}),
+	}
+}
+
+// Store exposes the aggregation store for reporting and tests.
+func (s *Service) Store() *Store { return s.store }
+
+// Stats returns current counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Sessions: s.sessions.Load(),
+		Active:   s.active.Load(),
+		Symbols:  s.symbols.Load(),
+		BytesIn:  s.bytesIn.Load(),
+	}
+}
+
+// SessionErrors returns the errors of every failed session so far. An
+// orderly stream contributes nothing; protocol violations and abrupt
+// disconnects each contribute one typed error.
+func (s *Service) SessionErrors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.errs...)
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") and serves in a
+// background goroutine until Close. It returns the bound address.
+func (s *Service) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// serve accepts until the listener closes.
+func (s *Service) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.sessions.Add(1)
+		s.active.Add(1)
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.active.Add(-1)
+			defer s.track(conn, false)
+			defer conn.Close()
+			var bytesIn int64
+			symbols, err := s.runSession(conn, &bytesIn)
+			s.symbols.Add(symbols)
+			s.bytesIn.Add(bytesIn)
+			if err != nil {
+				s.mu.Lock()
+				s.errs = append(s.errs, err)
+				s.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// track registers or unregisters a live connection so Close can interrupt
+// sessions that are still blocked reading.
+func (s *Service) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed.Load() {
+			// Close already ran; don't leave an unkillable session behind.
+			conn.Close()
+			return
+		}
+		s.closers[conn] = struct{}{}
+	} else {
+		delete(s.closers, conn)
+	}
+}
+
+// Drain stops accepting and waits for in-flight sessions to finish reading
+// whatever their peers already sent. Call after all sensors have closed
+// their connections to get a complete store.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Close force-stops the service: the listener and every live connection
+// are closed, then all session goroutines are awaited.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return errors.New("server: already closed")
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	for conn := range s.closers {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"symmeter/internal/timeseries"
+	"symmeter/internal/transport"
+)
+
+// startService listens on an ephemeral port and cleans up with the test.
+func startService(t *testing.T, shards int) (*Service, string) {
+	t.Helper()
+	svc := New(Config{Shards: shards})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, addr.String()
+}
+
+// waitSessionErr polls until the service records an error matching target.
+func waitSessionErr(t *testing.T, svc *Service, target error) error {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, err := range svc.SessionErrors() {
+			if errors.Is(err, target) {
+				return err
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no session error matching %v; have %v", target, svc.SessionErrors())
+	return nil
+}
+
+// TestFleet64ConcurrentMeters drives 64 simultaneous sensors over real TCP
+// — the concurrency acceptance test; run under -race.
+func TestFleet64ConcurrentMeters(t *testing.T) {
+	const meters = 64
+	svc, addr := startService(t, 8)
+	rep, err := RunFleet(addr, FleetConfig{
+		Meters:        meters,
+		Days:          1,
+		SecondsPerDay: 600,
+		Window:        60,
+		Seed:          1,
+		DisableGaps:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+	rep.Evaluate(svc.Store())
+
+	if errs := svc.SessionErrors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+	if got := len(svc.Store().Meters()); got != meters {
+		t.Fatalf("store meters = %d, want %d", got, meters)
+	}
+	wantSymbols := 600 / 60 // gap-free prefix → one symbol per full window
+	for _, m := range rep.Meters {
+		if m.Err != nil {
+			t.Fatalf("meter %d: %v", m.MeterID, m.Err)
+		}
+		if m.Sent != 600 {
+			t.Fatalf("meter %d sent %d, want 600", m.MeterID, m.Sent)
+		}
+		if m.Symbols != wantSymbols {
+			t.Fatalf("meter %d symbols = %d, want %d", m.MeterID, m.Symbols, wantSymbols)
+		}
+		if m.Matched != m.Symbols {
+			t.Fatalf("meter %d matched %d of %d symbols against truth", m.MeterID, m.Matched, m.Symbols)
+		}
+		if m.MAE < 0 {
+			t.Fatalf("meter %d MAE = %v", m.MeterID, m.MAE)
+		}
+	}
+	st := svc.Stats()
+	if st.Symbols != int64(meters*wantSymbols) {
+		t.Fatalf("service symbols = %d, want %d", st.Symbols, meters*wantSymbols)
+	}
+	if st.Sessions != meters || st.Active != 0 {
+		t.Fatalf("sessions = %d active = %d", st.Sessions, st.Active)
+	}
+	if st.BytesIn == 0 {
+		t.Fatal("no bytes counted on the wire")
+	}
+}
+
+// TestFleetRelearnMidStream exercises concurrent mid-stream UpdateTable
+// ('T' frames between symbol batches) across overlapping sessions.
+func TestFleetRelearnMidStream(t *testing.T) {
+	svc, addr := startService(t, 4)
+	rep, err := RunFleet(addr, FleetConfig{
+		Meters:        8,
+		Days:          3,
+		SecondsPerDay: 600,
+		Window:        60,
+		Seed:          3,
+		RelearnPerDay: true,
+		DisableGaps:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+	rep.Evaluate(svc.Store())
+	if errs := svc.SessionErrors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+	for _, m := range rep.Meters {
+		if m.Err != nil {
+			t.Fatalf("meter %d: %v", m.MeterID, m.Err)
+		}
+		st, ok := svc.Store().Snapshot(m.MeterID)
+		if !ok {
+			t.Fatalf("meter %d missing from store", m.MeterID)
+		}
+		if len(st.Tables) != 3 { // initial + one relearn per non-final day
+			t.Fatalf("meter %d tables = %d, want 3", m.MeterID, len(st.Tables))
+		}
+		if m.Matched != m.Symbols {
+			t.Fatalf("meter %d matched %d of %d", m.MeterID, m.Matched, m.Symbols)
+		}
+	}
+}
+
+// rawConn dials and returns a connection for hand-crafted frames.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// writeRawFrame emits an arbitrary frame header + payload prefix, for
+// protocol-abuse tests.
+func writeRawFrame(t *testing.T, w io.Writer, typ byte, claimLen uint32, payload []byte) {
+	t.Helper()
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], claimLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// expectClosed asserts the server hangs up on us (no hang: bounded by a
+// read deadline).
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("expected server to close the connection")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server hung instead of closing the connection")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	svc, addr := startService(t, 2)
+	conn := rawConn(t, addr)
+	payload := make([]byte, 9)
+	payload[0] = 99 // future protocol version
+	binary.BigEndian.PutUint64(payload[1:], 1)
+	writeRawFrame(t, conn, transport.FrameHandshake, 9, payload)
+	waitSessionErr(t, svc, transport.ErrVersionMismatch)
+	expectClosed(t, conn)
+}
+
+func TestTruncatedHandshakeRejected(t *testing.T) {
+	svc, addr := startService(t, 2)
+	conn := rawConn(t, addr)
+	// Claim 9 payload bytes, deliver 3, hang up.
+	writeRawFrame(t, conn, transport.FrameHandshake, 9, []byte{transport.ProtocolVersion, 0, 0})
+	conn.(*net.TCPConn).CloseWrite()
+	err := waitSessionErr(t, svc, transport.ErrBadHandshake)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("error %v does not wrap ErrUnexpectedEOF", err)
+	}
+}
+
+func TestShortHandshakePayloadRejected(t *testing.T) {
+	svc, addr := startService(t, 2)
+	conn := rawConn(t, addr)
+	// A complete frame whose payload is simply too short to be a handshake.
+	writeRawFrame(t, conn, transport.FrameHandshake, 3, []byte{transport.ProtocolVersion, 0, 0})
+	waitSessionErr(t, svc, transport.ErrBadHandshake)
+	expectClosed(t, conn)
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	svc, addr := startService(t, 2)
+	conn := rawConn(t, addr)
+	if err := transport.WriteHandshake(conn, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Header claims a payload beyond MaxFrame; no bytes follow. The server
+	// must reject from the header alone rather than waiting for data.
+	writeRawFrame(t, conn, transport.FrameTable, transport.MaxFrame+1, nil)
+	waitSessionErr(t, svc, transport.ErrFrameTooLarge)
+	expectClosed(t, conn)
+}
+
+func TestDuplicateMeterRejected(t *testing.T) {
+	svc, addr := startService(t, 2)
+	first := rawConn(t, addr)
+	if err := transport.WriteHandshake(first, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first session is registered before racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := svc.Store().Snapshot(5); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first session never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	second := rawConn(t, addr)
+	if err := transport.WriteHandshake(second, 5); err != nil {
+		t.Fatal(err)
+	}
+	waitSessionErr(t, svc, ErrDuplicateMeter)
+	expectClosed(t, second)
+
+	// The original session is unaffected: it can still finish cleanly.
+	table := testTable(t)
+	sensor, err := transport.NewSensor(first, table, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 120; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+	svc.Drain()
+	st, _ := svc.Store().Snapshot(5)
+	if len(st.Points) != 2 {
+		t.Fatalf("meter 5 points = %d, want 2", len(st.Points))
+	}
+}
+
+// TestAbruptDisconnectMidBatch kills a connection inside a symbol frame and
+// verifies the session is torn down without poisoning its shard: committed
+// state survives, the same meter can reconnect, and an unrelated meter on
+// the same shard streams through untouched.
+func TestAbruptDisconnectMidBatch(t *testing.T) {
+	svc, addr := startService(t, 2)
+	table := testTable(t)
+
+	const victim uint64 = 7
+	conn := rawConn(t, addr)
+	if err := transport.WriteHandshake(conn, victim); err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := transport.NewSensor(conn, table, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One complete window commits one batch...
+	for i := int64(0); i < 70; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 250}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...then a torn frame: a symbol header claiming 64 bytes, 4 delivered.
+	writeRawFrame(t, conn, transport.FrameSymbol, 64, []byte{0, 0, 0, 0})
+	conn.Close()
+	waitSessionErr(t, svc, io.ErrUnexpectedEOF)
+
+	// Committed state survived the teardown.
+	st, ok := svc.Store().Snapshot(victim)
+	if !ok || len(st.Points) != 1 {
+		t.Fatalf("victim snapshot = %+v ok=%v, want 1 committed point", st, ok)
+	}
+
+	// Another meter on the same shard, and the victim itself, both stream
+	// fine afterwards.
+	sameShard := victim + 1
+	for svc.Store().ShardFor(sameShard) != svc.Store().ShardFor(victim) {
+		sameShard++
+	}
+	for _, id := range []uint64{sameShard, victim} {
+		c := rawConn(t, addr)
+		if err := transport.WriteHandshake(c, id); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := transport.NewSensor(c, table, 60, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 120; i++ {
+			if err := s2.Push(timeseries.Point{T: 1000 + i, V: 500}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	svc.Drain()
+	// Points t=1000..1119 span windows [960,1020) [1020,1080) [1080,1140)
+	// → 3 symbols per clean session.
+	st, _ = svc.Store().Snapshot(victim)
+	if len(st.Points) != 1+3 || st.Sessions != 2 {
+		t.Fatalf("victim after reconnect: %d points, %d sessions", len(st.Points), st.Sessions)
+	}
+	if st2, _ := svc.Store().Snapshot(sameShard); len(st2.Points) != 3 {
+		t.Fatalf("shard-mate points = %d, want 3", len(st2.Points))
+	}
+}
+
+// TestCloseInterruptsIdleSessions makes sure Close does not wait on a
+// connection that is sitting in a blocking read.
+func TestCloseInterruptsIdleSessions(t *testing.T) {
+	svc, addr := startService(t, 2)
+	conn := rawConn(t, addr)
+	if err := transport.WriteHandshake(conn, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Give the session time to block in its frame read.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := svc.Store().Snapshot(11); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an idle session")
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"symmeter/internal/transport"
+)
+
+// countingReader counts bytes as they come off the connection so the
+// service can report bytes-on-wire without the transport layer knowing.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// runSession drives one accepted connection end to end: handshake, meter
+// registration, then the decode loop. It returns the number of symbols
+// ingested and a nil error only for an orderly 'E'-terminated stream.
+//
+// Failure isolation is the point of the structure: every store write is a
+// single shard-locked call, so an error at any point — torn frame, abrupt
+// disconnect, bad table — tears down only this session. State committed by
+// earlier batches stays readable and the shard lock is never held across a
+// network read, so a dying session cannot poison its shard.
+func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err error) {
+	cr := &countingReader{r: conn}
+	defer func() { *bytesIn = cr.n }()
+	br := bufio.NewReader(cr)
+
+	hs, err := transport.ReadHandshake(br)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.store.StartSession(hs.MeterID); err != nil {
+		return 0, err
+	}
+	defer s.store.EndSession(hs.MeterID)
+
+	dec := transport.NewDecoder(br)
+	for {
+		ev, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			// The sensor always sends 'E' before closing; a bare EOF is an
+			// abrupt disconnect mid-stream.
+			return symbols, fmt.Errorf("server: meter %d disconnected without end frame: %w", hs.MeterID, io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			return symbols, fmt.Errorf("server: meter %d: %w", hs.MeterID, err)
+		}
+		switch ev.Type {
+		case transport.FrameTable:
+			if err := s.store.PushTable(hs.MeterID, ev.Table); err != nil {
+				return symbols, err
+			}
+		case transport.FrameSymbol:
+			n, err := s.store.Append(hs.MeterID, ev.Points)
+			if err != nil {
+				return symbols, err
+			}
+			symbols += int64(n)
+		case transport.FrameEnd:
+			return symbols, nil
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package server is the concurrent aggregation service of the paper's §2
+// deployment story at fleet scale: many smart meters connect over TCP, each
+// handshakes with its meter ID, ships its locally-learned lookup table, and
+// streams packed symbols; the server runs one session goroutine per meter
+// and writes reconstructed state into a sharded in-memory store so ingest
+// scales across cores.
+//
+// Layering: internal/transport owns the wire format (frames, handshake,
+// Decoder); this package owns connection lifecycle (Service), per-meter
+// decoding state (session) and the shared mutable state (Store). A Fleet
+// driver simulates M meters streaming concurrently over real TCP for load
+// generation and benchmarks.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"symmeter/internal/symbolic"
+)
+
+// Typed store errors, distinguishable with errors.Is.
+var (
+	// ErrDuplicateMeter reports a session handshake for a meter ID that
+	// already has a live session.
+	ErrDuplicateMeter = errors.New("server: meter already has an active session")
+	// ErrUnknownMeter reports a write for a meter that never registered.
+	ErrUnknownMeter = errors.New("server: unknown meter")
+	// ErrNoTable reports symbol data arriving for a meter before any
+	// lookup table.
+	ErrNoTable = errors.New("server: meter has no lookup table")
+)
+
+// ReconPoint is one reconstructed measurement: the symbol the meter sent
+// plus the representative value it decodes to under the table that was
+// current when it arrived.
+type ReconPoint struct {
+	T int64
+	S symbolic.Symbol
+	V float64
+}
+
+// MeterState is the aggregate view of one meter.
+type MeterState struct {
+	ID uint64
+	// Tables holds every lookup table received, in order; the last is
+	// current.
+	Tables []*symbolic.Table
+	// Points is the reconstructed stream, in arrival order.
+	Points []ReconPoint
+	// Sessions counts completed-or-active sessions for this meter (a meter
+	// may reconnect).
+	Sessions int
+}
+
+// meterEntry guards one meter's state inside a shard.
+type meterEntry struct {
+	state  MeterState
+	active bool
+}
+
+// shard is one lock domain of the store.
+type shard struct {
+	mu     sync.RWMutex
+	meters map[uint64]*meterEntry
+}
+
+// Store is a sharded in-memory aggregation store. Meters are assigned to
+// shards by a mixed hash of their ID; all state for one meter lives in one
+// shard, so a session touches exactly one mutex and concurrent sessions on
+// different shards never contend.
+type Store struct {
+	shards []shard
+}
+
+// NewStore returns a store with n shards (n < 1 is clamped to 1).
+func NewStore(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		s.shards[i].meters = make(map[uint64]*meterEntry)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// mix64 is the splitmix64 finalizer: sequential meter IDs (the common
+// provisioning pattern) would otherwise land on sequential shards and, with
+// shard counts sharing factors with the ID stride, pile onto a few locks.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardFor returns the shard index a meter ID maps to (exposed for tests
+// and capacity planning).
+func (s *Store) ShardFor(meterID uint64) int {
+	return int(mix64(meterID) % uint64(len(s.shards)))
+}
+
+func (s *Store) shardOf(meterID uint64) *shard {
+	return &s.shards[s.ShardFor(meterID)]
+}
+
+// StartSession registers a live session for the meter, creating its state
+// on first contact. A second concurrent session for the same ID is refused
+// with ErrDuplicateMeter — the wire protocol has no way to interleave two
+// streams for one meter, so the newcomer must be an impostor or a stale
+// reconnect racing its predecessor.
+func (s *Store) StartSession(meterID uint64) error {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.meters[meterID]
+	if e == nil {
+		e = &meterEntry{state: MeterState{ID: meterID}}
+		sh.meters[meterID] = e
+	}
+	if e.active {
+		return fmt.Errorf("%w: %d", ErrDuplicateMeter, meterID)
+	}
+	e.active = true
+	e.state.Sessions++
+	return nil
+}
+
+// EndSession releases the meter's live-session slot. Accumulated state is
+// kept: an abrupt disconnect loses at most the batch in flight, never the
+// shard.
+func (s *Store) EndSession(meterID uint64) {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.meters[meterID]; e != nil {
+		e.active = false
+	}
+}
+
+// PushTable records a new lookup table for the meter.
+func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.meters[meterID]
+	if e == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
+	}
+	e.state.Tables = append(e.state.Tables, t)
+	return nil
+}
+
+// Append reconstructs a decoded symbol batch against the meter's current
+// table and appends it. It returns how many points were stored.
+func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.meters[meterID]
+	if e == nil {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
+	}
+	if len(e.state.Tables) == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrNoTable, meterID)
+	}
+	table := e.state.Tables[len(e.state.Tables)-1]
+	for _, sp := range pts {
+		v, err := table.Value(sp.S)
+		if err != nil {
+			return 0, err
+		}
+		e.state.Points = append(e.state.Points, ReconPoint{T: sp.T, S: sp.S, V: v})
+	}
+	return len(pts), nil
+}
+
+// Snapshot returns a copy of one meter's state (slices copied so callers
+// can read without holding the shard lock).
+func (s *Store) Snapshot(meterID uint64) (MeterState, bool) {
+	sh := s.shardOf(meterID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.meters[meterID]
+	if e == nil {
+		return MeterState{}, false
+	}
+	st := e.state
+	st.Tables = append([]*symbolic.Table(nil), e.state.Tables...)
+	st.Points = append([]ReconPoint(nil), e.state.Points...)
+	return st, true
+}
+
+// Meters returns the IDs of every meter the store has seen, in no
+// particular order.
+func (s *Store) Meters() []uint64 {
+	var ids []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.meters {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return ids
+}
+
+// TotalSymbols returns the number of reconstructed points across all
+// meters.
+func (s *Store) TotalSymbols() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.meters {
+			total += len(e.state.Points)
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"symmeter/internal/symbolic"
+)
+
+func testTable(t *testing.T) *symbolic.Table {
+	t.Helper()
+	vals := make([]float64, 512)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	table, err := symbolic.Learn(symbolic.MethodMedian, vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+func TestShardSpread(t *testing.T) {
+	s := NewStore(8)
+	if s.NumShards() != 8 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	// Sequential meter IDs must not all map to a few shards.
+	counts := make([]int, 8)
+	for id := uint64(1); id <= 1024; id++ {
+		counts[s.ShardFor(id)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no meters out of 1024 sequential IDs", i)
+		}
+		if c > 1024/8*2 {
+			t.Fatalf("shard %d got %d of 1024 meters (poor spread)", i, c)
+		}
+	}
+}
+
+func TestNewStoreClampsShards(t *testing.T) {
+	if n := NewStore(0).NumShards(); n != 1 {
+		t.Fatalf("shards = %d, want 1", n)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := NewStore(4)
+	if err := s.StartSession(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartSession(7); !errors.Is(err, ErrDuplicateMeter) {
+		t.Fatalf("second session error = %v, want ErrDuplicateMeter", err)
+	}
+	s.EndSession(7)
+	if err := s.StartSession(7); err != nil {
+		t.Fatalf("reconnect after EndSession: %v", err)
+	}
+	st, ok := s.Snapshot(7)
+	if !ok || st.Sessions != 2 {
+		t.Fatalf("snapshot = %+v ok=%v, want 2 sessions", st, ok)
+	}
+}
+
+func TestWritesRequireRegistration(t *testing.T) {
+	s := NewStore(4)
+	table := testTable(t)
+	if err := s.PushTable(9, table); !errors.Is(err, ErrUnknownMeter) {
+		t.Fatalf("PushTable error = %v, want ErrUnknownMeter", err)
+	}
+	if _, err := s.Append(9, nil); !errors.Is(err, ErrUnknownMeter) {
+		t.Fatalf("Append error = %v, want ErrUnknownMeter", err)
+	}
+	if err := s.StartSession(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(9, []symbolic.SymbolPoint{{T: 60, S: table.Encode(100)}}); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("Append before table error = %v, want ErrNoTable", err)
+	}
+	if err := s.PushTable(9, table); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Append(9, []symbolic.SymbolPoint{{T: 60, S: table.Encode(100)}})
+	if err != nil || n != 1 {
+		t.Fatalf("Append = %d, %v", n, err)
+	}
+	st, _ := s.Snapshot(9)
+	if len(st.Points) != 1 || st.Points[0].T != 60 {
+		t.Fatalf("points = %+v", st.Points)
+	}
+}
+
+// TestConcurrentStoreAccess hammers one store from many goroutines across
+// overlapping meters and shards; run under -race.
+func TestConcurrentStoreAccess(t *testing.T) {
+	s := NewStore(4)
+	table := testTable(t)
+	const meters = 64
+	var wg sync.WaitGroup
+	for m := 1; m <= meters; m++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if err := s.StartSession(id); err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.EndSession(id)
+			if err := s.PushTable(id, table); err != nil {
+				t.Error(err)
+				return
+			}
+			for batch := 0; batch < 10; batch++ {
+				pts := make([]symbolic.SymbolPoint, 8)
+				for i := range pts {
+					pts[i] = symbolic.SymbolPoint{T: int64(batch*8+i) * 60, S: table.Encode(float64(i) * 100)}
+				}
+				if _, err := s.Append(id, pts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(m))
+	}
+	// Concurrent readers while writes are in flight.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.TotalSymbols()
+				s.Meters()
+				s.Snapshot(uint64(i%meters + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.TotalSymbols(); got != meters*10*8 {
+		t.Fatalf("total symbols = %d, want %d", got, meters*10*8)
+	}
+	if got := len(s.Meters()); got != meters {
+		t.Fatalf("meters = %d, want %d", got, meters)
+	}
+}

@@ -78,9 +78,17 @@ func (e *Encoder) PushWithValue(p timeseries.Point) (out SymbolPoint, avg float6
 // Flush emits the symbol for the current partial window, if any. Call at
 // end of stream.
 func (e *Encoder) Flush() (SymbolPoint, bool) {
-	out, _, ok := e.emit()
-	e.started = false
+	out, _, ok := e.FlushWithValue()
 	return out, ok
+}
+
+// FlushWithValue is Flush, additionally returning the partial window's
+// average value — the same quantity PushWithValue exposes for completed
+// windows.
+func (e *Encoder) FlushWithValue() (SymbolPoint, float64, bool) {
+	out, avg, ok := e.emit()
+	e.started = false
+	return out, avg, ok
 }
 
 // emit finalises the current window into a symbol and its average.

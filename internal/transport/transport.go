@@ -5,9 +5,11 @@
 // table periodically or if the distribution of the data changes too much".
 //
 // The wire format is length-prefixed frames over any io.Writer/io.Reader
-// (tested over bytes.Buffer and net.Pipe):
+// (tested over bytes.Buffer, net.Pipe and real TCP):
 //
 //	frame   = type(1) | length(uint32 BE) | payload
+//	'H'     = session handshake: version(1) | meterID(uint64 BE); must be
+//	          the first frame on a multi-meter session stream
 //	'T'     = lookup table (symbolic.MarshalTable payload)
 //	'S'     = symbol batch: firstT(int64 BE) | window(int64 BE) | packed
 //	          symbols of consecutive windows (symbolic.Pack payload)
@@ -16,6 +18,11 @@
 // A batch holds symbols of consecutive windows only; the sensor starts a
 // new batch when a data gap breaks consecutiveness, so timestamps are
 // reconstructed exactly.
+//
+// The single-connection Sensor/Server pair predates the handshake and
+// still works handshake-free over a dedicated stream; the concurrent
+// aggregation service in internal/server requires the 'H' frame to route
+// a connection to its per-meter session.
 package transport
 
 import (
@@ -28,15 +35,44 @@ import (
 	"symmeter/internal/timeseries"
 )
 
-// Frame types.
+// Frame types as they appear on the wire.
 const (
-	frameTable  = 'T'
-	frameSymbol = 'S'
-	frameEnd    = 'E'
+	FrameHandshake byte = 'H'
+	FrameTable     byte = 'T'
+	FrameSymbol    byte = 'S'
+	FrameEnd       byte = 'E'
 )
+
+// ProtocolVersion is the current sensor→server protocol version carried in
+// the handshake frame. A server refuses streams from other versions with
+// ErrVersionMismatch rather than guessing at frame semantics.
+const ProtocolVersion byte = 1
 
 // maxFrame bounds payload sizes against corrupted length fields.
 const maxFrame = 16 << 20
+
+// MaxFrame is the largest payload a peer may send; frames claiming more
+// are rejected with ErrFrameTooLarge before any allocation.
+const MaxFrame = maxFrame
+
+// Typed protocol errors. Every malformed input maps onto one of these (via
+// errors.Is) so servers can tell protocol abuse from transport failures.
+var (
+	// ErrFrameTooLarge reports a frame header whose length field exceeds
+	// MaxFrame.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrVersionMismatch reports a handshake from an incompatible protocol
+	// version.
+	ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+	// ErrBadHandshake reports a missing, truncated, or malformed 'H' frame
+	// where a session handshake was required.
+	ErrBadHandshake = errors.New("transport: bad handshake frame")
+	// ErrSymbolBeforeTable reports a symbol batch arriving before any
+	// lookup table, which makes the stream undecodable.
+	ErrSymbolBeforeTable = errors.New("transport: symbol frame before any table")
+	// ErrUnknownFrame reports a frame type outside the protocol alphabet.
+	ErrUnknownFrame = errors.New("transport: unknown frame type")
+)
 
 // writeFrame emits one frame. Empty payloads are never written separately:
 // a zero-length Write would block forever on fully synchronous transports
@@ -66,7 +102,7 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -76,6 +112,118 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
 	}
 	return hdr[0], payload, nil
+}
+
+// Handshake identifies one meter's session stream.
+type Handshake struct {
+	Version byte
+	MeterID uint64
+}
+
+// handshakeLen is the exact payload size of an 'H' frame.
+const handshakeLen = 9
+
+// WriteHandshake opens a session stream by sending the 'H' frame for the
+// given meter at the current protocol version. It must precede every other
+// frame on a multi-meter connection.
+func WriteHandshake(w io.Writer, meterID uint64) error {
+	var payload [handshakeLen]byte
+	payload[0] = ProtocolVersion
+	binary.BigEndian.PutUint64(payload[1:], meterID)
+	return writeFrame(w, FrameHandshake, payload[:])
+}
+
+// ReadHandshake reads and validates the 'H' frame that must open a session
+// stream. Truncated or mistyped frames surface as ErrBadHandshake;
+// incompatible versions as ErrVersionMismatch.
+func ReadHandshake(r io.Reader) (Handshake, error) {
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return Handshake{}, fmt.Errorf("%w: %w", ErrBadHandshake, err)
+	}
+	if typ != FrameHandshake {
+		return Handshake{}, fmt.Errorf("%w: got frame type %#x, want 'H'", ErrBadHandshake, typ)
+	}
+	if len(payload) != handshakeLen {
+		return Handshake{}, fmt.Errorf("%w: payload of %d bytes, want %d", ErrBadHandshake, len(payload), handshakeLen)
+	}
+	hs := Handshake{
+		Version: payload[0],
+		MeterID: binary.BigEndian.Uint64(payload[1:]),
+	}
+	if hs.Version != ProtocolVersion {
+		return hs, fmt.Errorf("%w: peer speaks v%d, server speaks v%d", ErrVersionMismatch, hs.Version, ProtocolVersion)
+	}
+	return hs, nil
+}
+
+// Event is one decoded protocol frame, as produced by Decoder.Next.
+type Event struct {
+	// Type is the frame type: FrameTable, FrameSymbol or FrameEnd.
+	Type byte
+	// Table is set for FrameTable events.
+	Table *symbolic.Table
+	// Points is set for FrameSymbol events: the batch's symbols with their
+	// reconstructed window-end timestamps.
+	Points []symbolic.SymbolPoint
+}
+
+// Decoder incrementally decodes a sensor stream frame by frame. Unlike
+// Server.ReadAll it hands each table and symbol batch to the caller as it
+// arrives, which is what a concurrent per-meter session loop needs: state
+// lands in a shared store batch-by-batch instead of accumulating per
+// connection.
+type Decoder struct {
+	r      io.Reader
+	tables int
+}
+
+// NewDecoder wraps a reader positioned after any handshake.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Next decodes one frame. It returns io.EOF only on a clean stream end
+// between frames; an FrameEnd event signals orderly protocol shutdown.
+func (d *Decoder) Next() (Event, error) {
+	typ, payload, err := readFrame(d.r)
+	if err != nil {
+		return Event{}, err
+	}
+	switch typ {
+	case FrameTable:
+		t, err := symbolic.UnmarshalTable(payload)
+		if err != nil {
+			return Event{}, fmt.Errorf("transport: bad table frame: %w", err)
+		}
+		d.tables++
+		return Event{Type: FrameTable, Table: t}, nil
+	case FrameSymbol:
+		if d.tables == 0 {
+			return Event{}, ErrSymbolBeforeTable
+		}
+		if len(payload) < 16 {
+			return Event{}, errors.New("transport: short symbol frame")
+		}
+		firstT := int64(binary.BigEndian.Uint64(payload[0:8]))
+		window := int64(binary.BigEndian.Uint64(payload[8:16]))
+		if window <= 0 {
+			return Event{}, errors.New("transport: bad window in symbol frame")
+		}
+		symbols, err := symbolic.Unpack(payload[16:])
+		if err != nil {
+			return Event{}, fmt.Errorf("transport: bad symbol frame: %w", err)
+		}
+		pts := make([]symbolic.SymbolPoint, len(symbols))
+		for i, sym := range symbols {
+			pts[i] = symbolic.SymbolPoint{T: firstT + int64(i)*window, S: sym}
+		}
+		return Event{Type: FrameSymbol, Points: pts}, nil
+	case FrameEnd:
+		return Event{Type: FrameEnd}, nil
+	case FrameHandshake:
+		return Event{}, fmt.Errorf("%w: handshake after session start", ErrBadHandshake)
+	default:
+		return Event{}, fmt.Errorf("%w: %#x", ErrUnknownFrame, typ)
+	}
 }
 
 // Sensor encodes raw measurements and streams table + symbol frames.
@@ -104,7 +252,7 @@ func NewSensor(w io.Writer, table *symbolic.Table, window int64, batchSize int) 
 	if batchSize <= 0 {
 		batchSize = 96
 	}
-	if err := writeFrame(w, frameTable, symbolic.MarshalTable(table)); err != nil {
+	if err := writeFrame(w, FrameTable, symbolic.MarshalTable(table)); err != nil {
 		return nil, err
 	}
 	return &Sensor{
@@ -164,7 +312,7 @@ func (s *Sensor) UpdateTable(table *symbolic.Table) error {
 			return err
 		}
 	}
-	if err := writeFrame(s.w, frameTable, symbolic.MarshalTable(table)); err != nil {
+	if err := writeFrame(s.w, FrameTable, symbolic.MarshalTable(table)); err != nil {
 		return err
 	}
 	s.enc = symbolic.NewEncoder(table, s.window)
@@ -190,7 +338,7 @@ func (s *Sensor) sendBatch(firstT int64, symbols []symbolic.Symbol) error {
 	binary.BigEndian.PutUint64(payload[0:8], uint64(firstT))
 	binary.BigEndian.PutUint64(payload[8:16], uint64(s.window))
 	copy(payload[16:], packed)
-	return writeFrame(s.w, frameSymbol, payload)
+	return writeFrame(s.w, FrameSymbol, payload)
 }
 
 // Close flushes the trailing window and batch and writes the end frame.
@@ -207,7 +355,7 @@ func (s *Sensor) Close() error {
 		return err
 	}
 	s.closed = true
-	return writeFrame(s.w, frameEnd, nil)
+	return writeFrame(s.w, FrameEnd, nil)
 }
 
 // Server decodes the sensor stream back into timestamped symbols, tracking
@@ -228,48 +376,25 @@ func NewServer(r io.Reader) *Server { return &Server{r: r} }
 
 // ReadAll consumes frames until the end frame or EOF.
 func (s *Server) ReadAll() error {
+	dec := NewDecoder(s.r)
 	for {
-		typ, payload, err := readFrame(s.r)
+		ev, err := dec.Next()
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		switch typ {
-		case frameTable:
-			t, err := symbolic.UnmarshalTable(payload)
-			if err != nil {
-				return fmt.Errorf("transport: bad table frame: %w", err)
-			}
-			s.Tables = append(s.Tables, t)
-		case frameSymbol:
-			if len(s.Tables) == 0 {
-				return errors.New("transport: symbol frame before any table")
-			}
-			if len(payload) < 16 {
-				return errors.New("transport: short symbol frame")
-			}
-			firstT := int64(binary.BigEndian.Uint64(payload[0:8]))
-			window := int64(binary.BigEndian.Uint64(payload[8:16]))
-			if window <= 0 {
-				return errors.New("transport: bad window in symbol frame")
-			}
-			symbols, err := symbolic.Unpack(payload[16:])
-			if err != nil {
-				return fmt.Errorf("transport: bad symbol frame: %w", err)
-			}
-			for i, sym := range symbols {
-				s.Points = append(s.Points, symbolic.SymbolPoint{
-					T: firstT + int64(i)*window,
-					S: sym,
-				})
+		switch ev.Type {
+		case FrameTable:
+			s.Tables = append(s.Tables, ev.Table)
+		case FrameSymbol:
+			s.Points = append(s.Points, ev.Points...)
+			for range ev.Points {
 				s.TableAt = append(s.TableAt, len(s.Tables)-1)
 			}
-		case frameEnd:
+		case FrameEnd:
 			return nil
-		default:
-			return fmt.Errorf("transport: unknown frame type %#x", typ)
 		}
 	}
 }

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"math/rand"
@@ -196,7 +198,7 @@ func TestServerErrors(t *testing.T) {
 	// Symbol frame before any table.
 	var buf bytes.Buffer
 	payload := make([]byte, 16)
-	if err := writeFrame(&buf, frameSymbol, payload); err != nil {
+	if err := writeFrame(&buf, FrameSymbol, payload); err != nil {
 		t.Fatal(err)
 	}
 	if err := NewServer(&buf).ReadAll(); err == nil {
@@ -212,13 +214,13 @@ func TestServerErrors(t *testing.T) {
 	}
 	// Truncated frame.
 	buf.Reset()
-	buf.Write([]byte{frameTable, 0, 0, 1, 0}) // claims 256 bytes, has none
+	buf.Write([]byte{FrameTable, 0, 0, 1, 0}) // claims 256 bytes, has none
 	if err := NewServer(&buf).ReadAll(); err == nil {
 		t.Fatal("truncated frame should error")
 	}
 	// Oversized length field.
 	buf.Reset()
-	buf.Write([]byte{frameTable, 0xFF, 0xFF, 0xFF, 0xFF})
+	buf.Write([]byte{FrameTable, 0xFF, 0xFF, 0xFF, 0xFF})
 	if err := NewServer(&buf).ReadAll(); err == nil {
 		t.Fatal("oversized frame should error")
 	}
@@ -283,3 +285,188 @@ func TestCorruptedPayloadSurfaces(t *testing.T) {
 }
 
 var _ io.Writer = (*bytes.Buffer)(nil)
+
+// --- Handshake + Decoder protocol edges ----------------------------------
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Version != ProtocolVersion || hs.MeterID != 0xDEADBEEF {
+		t.Fatalf("handshake = %+v", hs)
+	}
+}
+
+func TestReadHandshakeWrongFrameType(t *testing.T) {
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, testTable(t), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sensor
+	// The buffer starts with a 'T' frame, not 'H'.
+	if _, err := ReadHandshake(&buf); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v, want ErrBadHandshake", err)
+	}
+}
+
+func TestReadHandshakeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < buf.Len(); cut++ {
+		_, err := ReadHandshake(bytes.NewReader(buf.Bytes()[:cut]))
+		if !errors.Is(err, ErrBadHandshake) {
+			t.Fatalf("cut=%d err = %v, want ErrBadHandshake", cut, err)
+		}
+	}
+}
+
+func TestReadHandshakeShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	// A well-formed frame of type 'H' whose payload is 3 bytes, not 9.
+	buf.Write([]byte{FrameHandshake, 0, 0, 0, 3, ProtocolVersion, 0, 0})
+	if _, err := ReadHandshake(&buf); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v, want ErrBadHandshake", err)
+	}
+}
+
+func TestReadHandshakeVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{FrameHandshake, 0, 0, 0, 9, ProtocolVersion + 1, 0, 0, 0, 0, 0, 0, 0, 1})
+	hs, err := ReadHandshake(&buf)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	if hs.Version != ProtocolVersion+1 || hs.MeterID != 1 {
+		t.Fatalf("mismatching handshake should still be parsed, got %+v", hs)
+	}
+}
+
+func TestOversizedFrameTyped(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [5]byte
+	hdr[0] = FrameTable
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := NewDecoder(&buf).Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("decoder err = %v, want ErrFrameTooLarge", err)
+	}
+	buf.Reset()
+	buf.Write(hdr[:])
+	if _, err := ReadHandshake(&buf); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("handshake err = %v, want ErrBadHandshake", err)
+	}
+}
+
+func TestDecoderSymbolBeforeTable(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Skip the leading table frame so the first thing seen is 'S'.
+	data := buf.Bytes()
+	tableLen := binary.BigEndian.Uint32(data[1:5])
+	stream := data[5+tableLen:]
+	if _, err := NewDecoder(bytes.NewReader(stream)).Next(); !errors.Is(err, ErrSymbolBeforeTable) {
+		t.Fatalf("err = %v, want ErrSymbolBeforeTable", err)
+	}
+}
+
+func TestDecoderRejectsLateHandshake(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecoder(&buf).Next(); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v, want ErrBadHandshake", err)
+	}
+}
+
+func TestDecoderUnknownFrameTyped(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'Z', 0, 0, 0, 0})
+	if _, err := NewDecoder(&buf).Next(); !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("err = %v, want ErrUnknownFrame", err)
+	}
+}
+
+// TestDecoderMatchesServer replays one stream through both the incremental
+// Decoder and the accumulating Server and requires identical results.
+func TestDecoderMatchesServer(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := int64(0); i < 500; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: rng.Float64() * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.UpdateTable(testTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(500); i < 900; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: rng.Float64() * 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	server := NewServer(bytes.NewReader(data))
+	if err := server.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(bytes.NewReader(data))
+	var tables int
+	var pts []symbolic.SymbolPoint
+	for {
+		ev, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == FrameEnd {
+			break
+		}
+		switch ev.Type {
+		case FrameTable:
+			tables++
+		case FrameSymbol:
+			pts = append(pts, ev.Points...)
+		}
+	}
+	if tables != len(server.Tables) {
+		t.Fatalf("decoder tables = %d, server = %d", tables, len(server.Tables))
+	}
+	if len(pts) != len(server.Points) {
+		t.Fatalf("decoder points = %d, server = %d", len(pts), len(server.Points))
+	}
+	for i := range pts {
+		if pts[i] != server.Points[i] {
+			t.Fatalf("point %d: decoder %+v, server %+v", i, pts[i], server.Points[i])
+		}
+	}
+}
