@@ -1,0 +1,156 @@
+// Command bench runs the hot-path micro-benchmarks — symbol codec pack and
+// unpack (word-at-a-time kernel vs the bit-at-a-time baseline kept in
+// internal/benchref) and sharded-store batch ingest — and writes the
+// results as JSON, so every PR's perf trajectory is recorded as an
+// artifact instead of scrolling away in CI logs.
+//
+//	bench                         # writes BENCH_2.json
+//	bench -out /tmp/b.json -benchtime 100ms
+//
+// The JSON carries ns/op, symbols/sec, B/op and allocs/op per benchmark
+// plus the speedup of each word-at-a-time kernel over its bit-at-a-time
+// baseline (the acceptance floor for the codec rewrite is 4x at level 4).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"symmeter/internal/benchref"
+	"symmeter/internal/symbolic"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	SymbolsPerSec float64 `json:"symbols_per_sec"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_2.json document.
+type Report struct {
+	Schema   string             `json:"schema"`
+	Go       string             `json:"go"`
+	GOOS     string             `json:"goos"`
+	GOARCH   string             `json:"goarch"`
+	CPUs     int                `json:"cpus"`
+	Results  []Result           `json:"results"`
+	Speedups map[string]float64 `json:"speedup_vs_bitwise"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		outPath   = fs.String("out", "BENCH_2.json", "output JSON path")
+		benchtime = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	testing.Init()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return err
+		}
+	}
+
+	rep := Report{
+		Schema:   "symmeter-bench/2",
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Speedups: map[string]float64{},
+	}
+	nsOf := map[string]float64{}
+	record := func(name string, symbolsPerOp int, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		rep.Results = append(rep.Results, Result{
+			Name:          name,
+			NsPerOp:       ns,
+			SymbolsPerSec: float64(symbolsPerOp) / ns * 1e9,
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+		})
+		nsOf[name] = ns
+		fmt.Fprintf(out, "%-28s %12.1f ns/op %14.0f sym/s %8d B/op %6d allocs/op\n",
+			name, ns, float64(symbolsPerOp)/ns*1e9, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// One day of 15-minute symbols at k=16 (level 4), the paper's headline
+	// configuration.
+	const n, k, level = 96, 16, 4
+	syms := make([]symbolic.Symbol, n)
+	for i := range syms {
+		syms[i] = symbolic.NewSymbol(i%k, level)
+	}
+	packed, err := symbolic.Pack(syms)
+	if err != nil {
+		return err
+	}
+
+	// The benchmark bodies are shared with bench_test.go via internal/benchref
+	// so BENCH_2.json and `go test -bench` cannot measure different code.
+	record("pack/word", n, func(b *testing.B) { benchref.BenchPackWord(b, syms) })
+	record("pack/word-append", n, func(b *testing.B) { benchref.BenchPackAppend(b, syms) })
+	record("pack/bitwise", n, func(b *testing.B) { benchref.BenchPackBitwise(b, syms) })
+	record("unpack/word", n, func(b *testing.B) { benchref.BenchUnpackWord(b, packed, n) })
+	record("unpack/word-into", n, func(b *testing.B) { benchref.BenchUnpackInto(b, packed, n) })
+	record("unpack/bitwise", n, func(b *testing.B) { benchref.BenchUnpackBitwise(b, packed, n) })
+
+	table, err := storeTable()
+	if err != nil {
+		return err
+	}
+	pts := make([]symbolic.SymbolPoint, n)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: int64(i) * 900, S: table.Encode(float64(i * 11 % 4000))}
+	}
+	record("store/append-batch96", n, func(b *testing.B) { benchref.BenchStoreAppend(b, table, pts) })
+
+	rep.Speedups["pack"] = nsOf["pack/bitwise"] / nsOf["pack/word-append"]
+	rep.Speedups["pack_alloc"] = nsOf["pack/bitwise"] / nsOf["pack/word"]
+	rep.Speedups["unpack"] = nsOf["unpack/bitwise"] / nsOf["unpack/word-into"]
+	rep.Speedups["unpack_alloc"] = nsOf["unpack/bitwise"] / nsOf["unpack/word"]
+	fmt.Fprintf(out, "speedup vs bitwise: pack %.1fx (alloc %.1fx), unpack %.1fx (alloc %.1fx)\n",
+		rep.Speedups["pack"], rep.Speedups["pack_alloc"], rep.Speedups["unpack"], rep.Speedups["unpack_alloc"])
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", *outPath, len(rep.Results))
+	return nil
+}
+
+// storeTable learns a small k=16 table for the store-ingest benchmark.
+func storeTable() (*symbolic.Table, error) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = float64(i * 7919 % 4000)
+	}
+	return symbolic.Learn(symbolic.MethodMedian, vals, 16)
+}

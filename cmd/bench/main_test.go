@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSmoke runs the full benchmark suite at a tiny benchtime and
+// validates the BENCH_2.json structure.
+func TestRunSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", out, "-benchtime", "1ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "symmeter-bench/2" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Results) != 7 {
+		t.Fatalf("got %d results, want 7", len(rep.Results))
+	}
+	names := map[string]Result{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.SymbolsPerSec <= 0 {
+			t.Fatalf("%s: non-positive measurement %+v", r.Name, r)
+		}
+		names[r.Name] = r
+	}
+	for _, want := range []string{"pack/word-append", "unpack/word-into", "store/append-batch96", "pack/bitwise", "unpack/bitwise"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("missing benchmark %q", want)
+		}
+	}
+	// The zero-allocation contract holds even at smoke benchtime.
+	for _, name := range []string{"pack/word-append", "unpack/word-into"} {
+		if a := names[name].AllocsPerOp; a != 0 {
+			t.Fatalf("%s allocates %d times per op, want 0", name, a)
+		}
+	}
+	for key, s := range rep.Speedups {
+		if s <= 0 {
+			t.Fatalf("speedup %q = %v", key, s)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h should be nil, got %v", err)
+	}
+}

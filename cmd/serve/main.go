@@ -50,7 +50,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	svc := server.New(server.Config{Shards: *shards})
+	fleetCfg := server.FleetConfig{
+		Meters:        *meters,
+		Days:          *days,
+		SecondsPerDay: *seconds,
+		Window:        *window,
+		K:             *k,
+		Seed:          *seed,
+		RelearnPerDay: *relearn,
+	}
+	// Each meter will stream one symbol per window; reserving that capacity
+	// at handshake keeps the per-batch store commits allocation-free.
+	svc := server.New(server.Config{
+		Shards:        *shards,
+		ReservePoints: fleetCfg.ExpectedPointsPerMeter(),
+	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {
 		return err
@@ -59,17 +73,22 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "server listening on %s (%d shards)\n", bound, svc.Store().NumShards())
 
 	start := time.Now()
-	rep, err := server.RunFleet(bound.String(), server.FleetConfig{
-		Meters:        *meters,
-		Days:          *days,
-		SecondsPerDay: *seconds,
-		Window:        *window,
-		K:             *k,
-		Seed:          *seed,
-		RelearnPerDay: *relearn,
-	})
+	rep, err := server.RunFleet(bound.String(), fleetCfg)
 	if err != nil {
 		return err
+	}
+	// Every meter whose dial succeeded produced a server-side session (even
+	// one that failed mid-stream), and a just-closed connection may still be
+	// un-accepted in the listener backlog — wait for all of them before
+	// closing the listener so no stream is dropped.
+	var connected int64
+	for _, m := range rep.Meters {
+		if m.Connected {
+			connected++
+		}
+	}
+	if !svc.AwaitSessions(connected, 30*time.Second) {
+		fmt.Fprintf(out, "warning: timed out waiting for %d sessions to finish; results may be incomplete\n", connected)
 	}
 	svc.Drain()
 	elapsed := time.Since(start)

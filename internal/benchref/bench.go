@@ -1,0 +1,126 @@
+package benchref
+
+import (
+	"testing"
+
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+)
+
+// Shared hot-path benchmark bodies, used by both the repo's top-level
+// bench_test.go and cmd/bench: BENCH_2.json and `go test -bench` measure
+// the exact same code, so they cannot drift apart.
+
+// reportSymbols attaches the throughput metric every hot-path benchmark
+// reports.
+func reportSymbols(b *testing.B, perOp int) {
+	b.ReportMetric(float64(perOp)*float64(b.N)/b.Elapsed().Seconds(), "sym/s")
+}
+
+// BenchPackWord measures the allocating word-at-a-time Pack.
+func BenchPackWord(b *testing.B, syms []symbolic.Symbol) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbolic.Pack(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, len(syms))
+}
+
+// BenchPackAppend measures AppendPack into a reused buffer (the
+// zero-allocation sensor path).
+func BenchPackAppend(b *testing.B, syms []symbolic.Symbol) {
+	b.ReportAllocs()
+	var buf []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		if buf, err = symbolic.AppendPack(buf[:0], syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, len(syms))
+}
+
+// BenchPackBitwise measures the preserved bit-at-a-time baseline packer.
+func BenchPackBitwise(b *testing.B, syms []symbolic.Symbol) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pack(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, len(syms))
+}
+
+// BenchUnpackWord measures the allocating word-at-a-time Unpack of a frame
+// holding perOp symbols.
+func BenchUnpackWord(b *testing.B, data []byte, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbolic.Unpack(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchUnpackInto measures UnpackInto into a reused buffer (the
+// zero-allocation decoder path).
+func BenchUnpackInto(b *testing.B, data []byte, perOp int) {
+	b.ReportAllocs()
+	var out []symbolic.Symbol
+	var err error
+	for i := 0; i < b.N; i++ {
+		if out, err = symbolic.UnpackInto(out, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchUnpackBitwise measures the preserved bit-at-a-time baseline unpacker.
+func BenchUnpackBitwise(b *testing.B, data []byte, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchStoreAppend measures committing one decoded batch into the sharded
+// store with capacity reserved — the pure validate + reconstruct + commit
+// path. One store holds `slab` batches and is recycled off-timer, so the
+// benchmark's resident memory stays bounded for any b.N.
+func BenchStoreAppend(b *testing.B, table *symbolic.Table, pts []symbolic.SymbolPoint) {
+	const slab = 1 << 14
+	newStore := func() *server.Store {
+		st := server.NewStore(16)
+		if err := st.StartSession(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.PushTable(1, table); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Reserve(1, slab*len(pts)); err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	st := newStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%slab == 0 {
+			b.StopTimer()
+			st = newStore()
+			b.StartTimer()
+		}
+		if _, err := st.Append(1, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSymbols(b, len(pts))
+}

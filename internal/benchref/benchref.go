@@ -1,0 +1,97 @@
+// Package benchref preserves the bit-at-a-time symbol codec that the
+// word-at-a-time kernel in internal/symbolic replaced. It exists for two
+// reasons: differential testing (the two implementations must produce
+// byte-identical output for every input) and benchmarking (BenchmarkPack /
+// BenchmarkUnpack and cmd/bench report the new kernel's speedup against
+// this baseline, so the perf trajectory stays measurable instead of
+// disappearing with the old code).
+//
+// It intentionally mirrors the original implementation — one shift-and-test
+// per bit — and must not be "optimised".
+package benchref
+
+import (
+	"errors"
+	"fmt"
+
+	"symmeter/internal/symbolic"
+)
+
+const magic = 'S'
+
+const maxPackCount = 1<<24 - 1
+
+// Pack is the original bit-at-a-time packer.
+func Pack(symbols []symbolic.Symbol) ([]byte, error) {
+	if len(symbols) > maxPackCount {
+		return nil, fmt.Errorf("benchref: cannot pack %d symbols (max %d)", len(symbols), maxPackCount)
+	}
+	level := 0
+	if len(symbols) > 0 {
+		level = symbols[0].Level()
+	}
+	if level == 0 && len(symbols) > 0 {
+		return nil, errors.New("benchref: cannot pack level-0 symbols")
+	}
+	for i, s := range symbols {
+		if s.Level() != level {
+			return nil, fmt.Errorf("benchref: mixed levels: symbol %d has level %d, want %d", i, s.Level(), level)
+		}
+	}
+	payloadBits := len(symbols) * level
+	out := make([]byte, 5+(payloadBits+7)/8)
+	out[0] = magic
+	out[1] = byte(level)
+	out[2] = byte(len(symbols) >> 16)
+	out[3] = byte(len(symbols) >> 8)
+	out[4] = byte(len(symbols))
+	bitPos := 0
+	payload := out[5:]
+	for _, s := range symbols {
+		idx := uint32(s.Index())
+		for b := level - 1; b >= 0; b-- {
+			if idx>>uint(b)&1 == 1 {
+				payload[bitPos/8] |= 1 << uint(7-bitPos%8)
+			}
+			bitPos++
+		}
+	}
+	return out, nil
+}
+
+// Unpack is the original bit-at-a-time unpacker.
+func Unpack(data []byte) ([]symbolic.Symbol, error) {
+	if len(data) < 5 {
+		return nil, errors.New("benchref: packed data too short")
+	}
+	if data[0] != magic {
+		return nil, fmt.Errorf("benchref: bad magic byte %#x", data[0])
+	}
+	level := int(data[1])
+	count := int(data[2])<<16 | int(data[3])<<8 | int(data[4])
+	if count == 0 {
+		return []symbolic.Symbol{}, nil
+	}
+	if level < 1 || level > symbolic.MaxLevel {
+		return nil, fmt.Errorf("benchref: bad level %d", level)
+	}
+	need := 5 + (count*level+7)/8
+	if len(data) < need {
+		return nil, fmt.Errorf("benchref: truncated payload: have %d bytes, need %d", len(data), need)
+	}
+	payload := data[5:]
+	out := make([]symbolic.Symbol, count)
+	bitPos := 0
+	for i := 0; i < count; i++ {
+		idx := 0
+		for b := 0; b < level; b++ {
+			idx <<= 1
+			if payload[bitPos/8]>>uint(7-bitPos%8)&1 == 1 {
+				idx |= 1
+			}
+			bitPos++
+		}
+		out[i] = symbolic.NewSymbol(idx, level)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package benchref
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"symmeter/internal/symbolic"
+)
+
+// TestDifferential checks the word-at-a-time kernel against this package's
+// bit-at-a-time original: byte-identical packed output and identical
+// round-trips for random sequences at every level.
+func TestDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for level := 1; level <= symbolic.MaxLevel; level++ {
+		for _, count := range []int{0, 1, 2, 7, 8, 9, 95, 96, 97, 1000} {
+			syms := make([]symbolic.Symbol, count)
+			for i := range syms {
+				syms[i] = symbolic.NewSymbol(rng.Intn(1<<uint(level)), level)
+			}
+			want, err := Pack(syms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := symbolic.Pack(syms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("level %d count %d: packed bytes diverge:\nword    %x\nbitwise %x", level, count, got, want)
+			}
+			back, err := symbolic.Unpack(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBack, err := Unpack(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range syms {
+				if back[i] != syms[i] || refBack[i] != syms[i] {
+					t.Fatalf("level %d count %d: round trip diverges at %d", level, count, i)
+				}
+			}
+		}
+	}
+}

@@ -59,6 +59,22 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	return c
 }
 
+// ExpectedPointsPerMeter returns an upper bound on the symbols one meter
+// will stream under this config (after defaulting) — the right value for
+// Config.ReservePoints so every store commit lands in pre-allocated
+// capacity. Per day: one symbol per touched window (ceiling, plus one for
+// window/day misalignment) and one more for the partial-window flush a
+// daily table relearn forces. Gaps can only reduce the actual count.
+func (c FleetConfig) ExpectedPointsPerMeter() int {
+	c = c.withDefaults()
+	perDay := int64(timeseries.SecondsPerDay)
+	if c.SecondsPerDay > 0 {
+		perDay = c.SecondsPerDay
+	}
+	symbolsPerDay := (perDay+c.Window-1)/c.Window + 2
+	return int(symbolsPerDay * int64(c.Days))
+}
+
 // MeterReport is one meter's end-to-end outcome.
 type MeterReport struct {
 	MeterID uint64
@@ -75,6 +91,11 @@ type MeterReport struct {
 	MAE float64
 	// Err is the sensor-side failure, nil on success.
 	Err error
+	// Connected reports whether the meter's TCP dial succeeded — even a
+	// meter that later failed mid-stream produced a server-side session, so
+	// drivers waiting for sessions (Service.AwaitSessions) must count
+	// connected meters, not successful ones.
+	Connected bool
 
 	truth []timeseries.Point
 }
@@ -183,6 +204,7 @@ func runMeter(addr string, id uint64, seedOff int64, cfg FleetConfig) MeterRepor
 	if err != nil {
 		return fail(err)
 	}
+	rep.Connected = true
 	defer conn.Close()
 	if err := transport.WriteHandshake(conn, id); err != nil {
 		return fail(err)

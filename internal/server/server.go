@@ -5,12 +5,18 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Config sizes a Service.
 type Config struct {
 	// Shards is the store's lock-domain count; 0 picks a default of 16.
 	Shards int
+	// ReservePoints, when positive, pre-allocates that many reconstructed
+	// points per meter at handshake time, so a session whose expected volume
+	// is known up front (e.g. replaying N days of fixed-window data) ingests
+	// every batch without growing its points slice.
+	ReservePoints int
 }
 
 // Stats is a point-in-time view of service counters.
@@ -29,7 +35,8 @@ type Stats struct {
 // Service accepts sensor connections and runs one session goroutine per
 // meter, writing into a sharded Store.
 type Service struct {
-	store *Store
+	store         *Store
+	reservePoints int
 
 	sessions atomic.Int64
 	active   atomic.Int64
@@ -51,8 +58,9 @@ func New(cfg Config) *Service {
 		shards = 16
 	}
 	return &Service{
-		store:   NewStore(shards),
-		closers: make(map[net.Conn]struct{}),
+		store:         NewStore(shards),
+		reservePoints: cfg.ReservePoints,
+		closers:       make(map[net.Conn]struct{}),
 	}
 }
 
@@ -142,9 +150,32 @@ func (s *Service) track(conn net.Conn, add bool) {
 	}
 }
 
+// AwaitSessions blocks until the service has accepted at least n sessions
+// and none is still running, or until timeout elapses (it reports which).
+// Fleet drivers call it between "all sensors have closed their connections"
+// and Drain: a freshly-closed connection can still be sitting un-accepted
+// in the listener's backlog, and closing the listener at that moment would
+// silently drop it along with its data. n must count only peers that
+// actually connected — a driver whose sensor died before dialing must not
+// wait for a session that will never arrive.
+func (s *Service) AwaitSessions(n int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := s.Stats()
+		if st.Sessions >= n && st.Active == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
 // Drain stops accepting and waits for in-flight sessions to finish reading
 // whatever their peers already sent. Call after all sensors have closed
-// their connections to get a complete store.
+// their connections to get a complete store (AwaitSessions first if the
+// peers only just closed).
 func (s *Service) Drain() {
 	s.mu.Lock()
 	ln := s.ln

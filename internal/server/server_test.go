@@ -56,6 +56,7 @@ func TestFleet64ConcurrentMeters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	svc.AwaitSessions(meters, 10*time.Second)
 	svc.Drain()
 	rep.Evaluate(svc.Store())
 
@@ -111,6 +112,7 @@ func TestFleetRelearnMidStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	svc.AwaitSessions(8, 10*time.Second)
 	svc.Drain()
 	rep.Evaluate(svc.Store())
 	if errs := svc.SessionErrors(); len(errs) != 0 {
@@ -258,6 +260,7 @@ func TestDuplicateMeterRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	first.Close()
+	svc.AwaitSessions(2, 10*time.Second)
 	svc.Drain()
 	st, _ := svc.Store().Snapshot(5)
 	if len(st.Points) != 2 {
@@ -324,6 +327,7 @@ func TestAbruptDisconnectMidBatch(t *testing.T) {
 		}
 		c.Close()
 	}
+	svc.AwaitSessions(3, 10*time.Second)
 	svc.Drain()
 	// Points t=1000..1119 span windows [960,1020) [1020,1080) [1080,1140)
 	// → 3 symbols per clean session.

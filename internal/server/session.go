@@ -44,6 +44,11 @@ func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err
 		return 0, err
 	}
 	defer s.store.EndSession(hs.MeterID)
+	if s.reservePoints > 0 {
+		if err := s.store.Reserve(hs.MeterID, s.reservePoints); err != nil {
+			return 0, err
+		}
+	}
 
 	dec := transport.NewDecoder(br)
 	for {

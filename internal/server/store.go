@@ -15,6 +15,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"symmeter/internal/symbolic"
@@ -158,8 +159,17 @@ func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 	return nil
 }
 
+// ErrBadSymbol reports a symbol whose level does not match the meter's
+// current lookup table, making it undecodable.
+var ErrBadSymbol = errors.New("server: symbol level does not match table")
+
 // Append reconstructs a decoded symbol batch against the meter's current
 // table and appends it. It returns how many points were stored.
+//
+// The whole batch is validated against the table before any point is
+// committed, so an error never leaves a partially-appended batch, and the
+// commit loop resolves symbol→value by direct index into the table's cached
+// reconstruction values — no bounds math, NaN test or error path per point.
 func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
@@ -172,14 +182,40 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 		return 0, fmt.Errorf("%w: %d", ErrNoTable, meterID)
 	}
 	table := e.state.Tables[len(e.state.Tables)-1]
-	for _, sp := range pts {
-		v, err := table.Value(sp.S)
-		if err != nil {
-			return 0, err
+	level := table.Level()
+	for i := range pts {
+		if pts[i].S.Level() != level {
+			return 0, fmt.Errorf("%w: point %d has level %d, table has level %d",
+				ErrBadSymbol, i, pts[i].S.Level(), level)
 		}
-		e.state.Points = append(e.state.Points, ReconPoint{T: sp.T, S: sp.S, V: v})
 	}
+	values := table.ReconstructionValues()
+	// One growth per batch instead of per-point append doubling; with
+	// Reserve'd capacity steady-state ingest allocates nothing.
+	points := slices.Grow(e.state.Points, len(pts))
+	for _, sp := range pts {
+		points = append(points, ReconPoint{T: sp.T, S: sp.S, V: values[sp.S.Index()]})
+	}
+	e.state.Points = points
 	return len(pts), nil
+}
+
+// Reserve pre-allocates capacity for at least n reconstructed points for the
+// meter — capacity planning for ingest bursts: a session that knows how many
+// windows a replayed day will produce can make every subsequent Append
+// allocation-free.
+func (s *Store) Reserve(meterID uint64, n int) error {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.meters[meterID]
+	if e == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
+	}
+	if n > cap(e.state.Points) {
+		e.state.Points = slices.Grow(e.state.Points, n-len(e.state.Points))
+	}
+	return nil
 }
 
 // Snapshot returns a copy of one meter's state (slices copied so callers

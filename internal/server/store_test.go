@@ -147,3 +147,78 @@ func TestConcurrentStoreAccess(t *testing.T) {
 		t.Fatalf("meters = %d, want %d", got, meters)
 	}
 }
+
+// TestAppendRejectsBatchAtomically pins the no-partial-commit contract: a
+// batch containing one undecodable symbol must leave the meter's points
+// exactly as they were, not half-appended.
+func TestAppendRejectsBatchAtomically(t *testing.T) {
+	s := NewStore(2)
+	table := testTable(t) // k=8, level 3
+	if err := s.StartSession(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(5, table); err != nil {
+		t.Fatal(err)
+	}
+	good := []symbolic.SymbolPoint{{T: 60, S: table.Encode(100)}, {T: 120, S: table.Encode(900)}}
+	if _, err := s.Append(5, good); err != nil {
+		t.Fatal(err)
+	}
+	// Two decodable points followed by a wrong-level symbol: nothing from
+	// this batch may land.
+	bad := []symbolic.SymbolPoint{
+		{T: 180, S: table.Encode(100)},
+		{T: 240, S: table.Encode(200)},
+		{T: 300, S: symbolic.NewSymbol(1, 5)},
+	}
+	if _, err := s.Append(5, bad); !errors.Is(err, ErrBadSymbol) {
+		t.Fatalf("Append error = %v, want ErrBadSymbol", err)
+	}
+	st, _ := s.Snapshot(5)
+	if len(st.Points) != len(good) {
+		t.Fatalf("store has %d points after failed batch, want %d (partial commit)", len(st.Points), len(good))
+	}
+	// The meter is still usable after the refused batch.
+	if n, err := s.Append(5, good); err != nil || n != 2 {
+		t.Fatalf("Append after refusal = %d, %v", n, err)
+	}
+}
+
+func TestReserveUnknownMeter(t *testing.T) {
+	s := NewStore(1)
+	if err := s.Reserve(404, 100); !errors.Is(err, ErrUnknownMeter) {
+		t.Fatalf("Reserve error = %v, want ErrUnknownMeter", err)
+	}
+}
+
+// TestStoreAppendZeroAlloc enforces the hot ingest path's zero-allocation
+// contract: with capacity reserved, Append must not allocate — no error
+// values, no per-point table lookups, no append growth.
+func TestStoreAppendZeroAlloc(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t)
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	const batch = 96
+	const runs = 200
+	pts := make([]symbolic.SymbolPoint, batch)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: int64(i) * 60, S: table.Encode(float64(i * 10))}
+	}
+	// +2 runs of slack: AllocsPerRun warms up with an extra call.
+	if err := s.Reserve(1, (runs+2)*batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := s.Append(1, pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Append allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -23,77 +23,180 @@ const maxPackCount = 1<<24 - 1
 // same level (mixed-resolution streams should be coarsened first or packed
 // in separate runs).
 func Pack(symbols []Symbol) ([]byte, error) {
+	return AppendPack(nil, symbols)
+}
+
+// AppendPack appends the packed encoding of symbols to dst and returns the
+// extended slice, reallocating only when dst lacks capacity. It is the
+// zero-allocation form of Pack for callers that reuse a scratch buffer
+// across batches. On error dst is returned truncated to its original
+// length with its original contents intact.
+//
+// The kernel packs word-at-a-time: symbol indices are shifted into a 64-bit
+// accumulator and drained 32 bits per store, instead of testing and setting
+// one bit per loop iteration.
+func AppendPack(dst []byte, symbols []Symbol) ([]byte, error) {
 	if len(symbols) > maxPackCount {
-		return nil, fmt.Errorf("symbolic: cannot pack %d symbols (max %d)", len(symbols), maxPackCount)
+		return dst, fmt.Errorf("symbolic: cannot pack %d symbols (max %d)", len(symbols), maxPackCount)
 	}
 	level := 0
 	if len(symbols) > 0 {
 		level = symbols[0].Level()
-	}
-	if level == 0 && len(symbols) > 0 {
-		return nil, errors.New("symbolic: cannot pack level-0 symbols")
-	}
-	for i, s := range symbols {
-		if s.Level() != level {
-			return nil, fmt.Errorf("symbolic: mixed levels: symbol %d has level %d, want %d", i, s.Level(), level)
+		if level == 0 {
+			return dst, errors.New("symbolic: cannot pack level-0 symbols")
 		}
 	}
+	base := len(dst)
 	payloadBits := len(symbols) * level
-	out := make([]byte, 5+(payloadBits+7)/8)
-	out[0] = codecMagic
-	out[1] = byte(level)
-	out[2] = byte(len(symbols) >> 16)
-	out[3] = byte(len(symbols) >> 8)
-	out[4] = byte(len(symbols))
-	bitPos := 0
-	payload := out[5:]
-	for _, s := range symbols {
-		idx := uint32(s.Index())
-		for b := level - 1; b >= 0; b-- {
-			if idx>>uint(b)&1 == 1 {
-				payload[bitPos/8] |= 1 << uint(7-bitPos%8)
+	need := 5 + (payloadBits+7)/8
+	if cap(dst)-base < need {
+		grown := make([]byte, base+need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+need]
+	}
+	dst[base] = codecMagic
+	dst[base+1] = byte(level)
+	dst[base+2] = byte(len(symbols) >> 16)
+	dst[base+3] = byte(len(symbols) >> 8)
+	dst[base+4] = byte(len(symbols))
+	payload := dst[base+5:]
+	// Word-at-a-time kernel. Invariant: accBits < 32 at the top of the loop,
+	// so acc holds at most 31 + MaxLevel = 61 valid bits and never overflows.
+	// Level validation is fused into the loop; on a mismatch only bytes past
+	// the caller's original length have been touched, so truncating back to
+	// base leaves dst intact.
+	lvl := uint8(level)
+	shift := uint(level)
+	pos := 0
+	off := 0
+	if level == 4 {
+		// Fast path for the paper's headline k=16 configuration: eight
+		// 4-bit symbols per 32-bit store, unrolled, one fused level check
+		// per word. The <8-symbol remainder falls through to the general
+		// accumulator loop below at a byte-aligned position.
+		for ; off+8 <= len(symbols); off += 8 {
+			s := symbols[off : off+8 : off+8]
+			if (s[0].level^4)|(s[1].level^4)|(s[2].level^4)|(s[3].level^4)|
+				(s[4].level^4)|(s[5].level^4)|(s[6].level^4)|(s[7].level^4) != 0 {
+				for j := range s {
+					if s[j].level != 4 {
+						return dst[:base], fmt.Errorf("symbolic: mixed levels: symbol %d has level %d, want %d", off+j, s[j].Level(), level)
+					}
+				}
 			}
-			bitPos++
+			w := s[0].index<<28 | s[1].index<<24 | s[2].index<<20 | s[3].index<<16 |
+				s[4].index<<12 | s[5].index<<8 | s[6].index<<4 | s[7].index
+			binary.BigEndian.PutUint32(payload[pos:], w)
+			pos += 4
 		}
 	}
-	return out, nil
+	var acc uint64
+	accBits := 0
+	for i := off; i < len(symbols); i++ {
+		s := symbols[i]
+		if s.level != lvl {
+			return dst[:base], fmt.Errorf("symbolic: mixed levels: symbol %d has level %d, want %d", i, s.Level(), level)
+		}
+		acc = acc<<shift | uint64(s.index)
+		accBits += level
+		if accBits >= 32 {
+			accBits -= 32
+			binary.BigEndian.PutUint32(payload[pos:], uint32(acc>>uint(accBits)))
+			pos += 4
+		}
+	}
+	for accBits >= 8 {
+		accBits -= 8
+		payload[pos] = byte(acc >> uint(accBits))
+		pos++
+	}
+	if accBits > 0 {
+		// Tail byte: remaining bits MSB-aligned, zero padding on the right.
+		payload[pos] = byte(acc << uint(8-accBits))
+	}
+	return dst, nil
 }
 
 // Unpack decodes a packed symbol sequence.
 func Unpack(data []byte) ([]Symbol, error) {
+	return UnpackInto(nil, data)
+}
+
+// UnpackInto decodes a packed symbol sequence into dst's backing array
+// (overwriting from index 0) and returns the decoded slice, reallocating
+// only when dst lacks capacity. It is the zero-allocation form of Unpack
+// for callers that reuse a symbol buffer across batches. On error dst is
+// returned with its original contents intact.
+func UnpackInto(dst []Symbol, data []byte) ([]Symbol, error) {
 	if len(data) < 5 {
-		return nil, errors.New("symbolic: packed data too short")
+		return dst, errors.New("symbolic: packed data too short")
 	}
 	if data[0] != codecMagic {
-		return nil, fmt.Errorf("symbolic: bad magic byte %#x", data[0])
+		return dst, fmt.Errorf("symbolic: bad magic byte %#x", data[0])
 	}
 	level := int(data[1])
 	count := int(data[2])<<16 | int(data[3])<<8 | int(data[4])
 	if count == 0 {
-		return []Symbol{}, nil
+		return dst[:0], nil
 	}
 	if level < 1 || level > MaxLevel {
-		return nil, fmt.Errorf("symbolic: bad level %d", level)
+		return dst, fmt.Errorf("symbolic: bad level %d", level)
 	}
 	need := 5 + (count*level+7)/8
 	if len(data) < need {
-		return nil, fmt.Errorf("symbolic: truncated payload: have %d bytes, need %d", len(data), need)
+		return dst, fmt.Errorf("symbolic: truncated payload: have %d bytes, need %d", len(data), need)
 	}
 	payload := data[5:]
-	out := make([]Symbol, count)
-	bitPos := 0
-	for i := 0; i < count; i++ {
-		var idx uint32
-		for b := 0; b < level; b++ {
-			idx <<= 1
-			if payload[bitPos/8]>>uint(7-bitPos%8)&1 == 1 {
-				idx |= 1
-			}
-			bitPos++
-		}
-		out[i] = Symbol{index: idx, level: uint8(level)}
+	if cap(dst) < count {
+		dst = make([]Symbol, count)
+	} else {
+		dst = dst[:count]
 	}
-	return out, nil
+	// Word-at-a-time kernel, mirror of AppendPack: refill the accumulator
+	// 32 bits at a time (one byte at a time only near the payload tail) and
+	// mask each symbol out. accBits < level <= MaxLevel < 32 before a refill,
+	// so acc holds at most 61 valid bits; high stale bits are masked off.
+	mask := uint64(1)<<uint(level) - 1
+	lvl := uint8(level)
+	pos := 0
+	off := 0
+	if level == 4 {
+		// Fast path mirroring AppendPack's: one 32-bit load yields eight
+		// 4-bit symbols; the remainder continues in the general loop at a
+		// byte-aligned position.
+		for ; off+8 <= count && pos+4 <= len(payload); off += 8 {
+			w := binary.BigEndian.Uint32(payload[pos:])
+			pos += 4
+			dst[off] = Symbol{index: w >> 28, level: 4}
+			dst[off+1] = Symbol{index: w >> 24 & 0xF, level: 4}
+			dst[off+2] = Symbol{index: w >> 20 & 0xF, level: 4}
+			dst[off+3] = Symbol{index: w >> 16 & 0xF, level: 4}
+			dst[off+4] = Symbol{index: w >> 12 & 0xF, level: 4}
+			dst[off+5] = Symbol{index: w >> 8 & 0xF, level: 4}
+			dst[off+6] = Symbol{index: w >> 4 & 0xF, level: 4}
+			dst[off+7] = Symbol{index: w & 0xF, level: 4}
+		}
+	}
+	var acc uint64
+	accBits := 0
+	for i := off; i < count; i++ {
+		for accBits < level {
+			if pos+4 <= len(payload) {
+				acc = acc<<32 | uint64(binary.BigEndian.Uint32(payload[pos:]))
+				accBits += 32
+				pos += 4
+			} else {
+				acc = acc<<8 | uint64(payload[pos])
+				accBits += 8
+				pos++
+			}
+		}
+		accBits -= level
+		dst[i] = Symbol{index: uint32(acc >> uint(accBits) & mask), level: lvl}
+	}
+	return dst, nil
 }
 
 // PackedSize returns the packed byte size of n symbols at the given level,
@@ -203,5 +306,6 @@ func UnmarshalTable(data []byte) (*Table, error) {
 	for i := 0; i < k; i++ {
 		t.repr[i] = readF()
 	}
+	t.refreshValues()
 	return t, nil
 }

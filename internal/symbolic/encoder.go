@@ -110,6 +110,21 @@ func (e *Encoder) emit() (SymbolPoint, float64, bool) {
 func EncodeSeries(s *timeseries.Series, table *Table, window int64) (*SymbolSeries, error) {
 	e := NewEncoder(table, window)
 	out := &SymbolSeries{Name: s.Name, Table: table}
+	if n := len(s.Points); n > 0 {
+		// Pre-size the output from the series' time span: one symbol per
+		// window plus the trailing flush, so appends below never reallocate.
+		// The encoder can emit at most n+1 symbols regardless of span, so
+		// clamp the estimate — a sparse series must not over-allocate, and a
+		// negative span (out-of-order input, surfaced as an error by Push
+		// below) must not panic makeslice.
+		want := n + 1
+		if window > 0 {
+			if est := (s.Points[n-1].T-s.Points[0].T)/window + 2; est >= 0 && est < int64(want) {
+				want = int(est)
+			}
+		}
+		out.Points = make([]SymbolPoint, 0, want)
+	}
 	for _, p := range s.Points {
 		sp, ok, err := e.Push(p)
 		if err != nil {

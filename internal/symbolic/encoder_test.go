@@ -226,3 +226,29 @@ func TestOnlineEqualsOfflineOnDataset(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeSeriesPresizeClamp guards the output pre-sizing against
+// pathological inputs: out-of-order points must surface the encoder's error
+// (not a makeslice panic from a negative span), and a sparse series must
+// not allocate capacity proportional to its time span.
+func TestEncodeSeriesPresizeClamp(t *testing.T) {
+	table, err := NewTable(2, []float64{5}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outOfOrder := &timeseries.Series{Name: "x", Points: []timeseries.Point{{T: 100000, V: 1}, {T: 10, V: 2}}}
+	if _, err := EncodeSeries(outOfOrder, table, 900); err == nil {
+		t.Fatal("out-of-order series must error")
+	}
+	sparse := &timeseries.Series{Name: "y", Points: []timeseries.Point{{T: 0, V: 1}, {T: 1 << 40, V: 2}}}
+	ss, err := EncodeSeries(sparse, table, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Points) != 2 {
+		t.Fatalf("sparse series encoded %d symbols, want 2", len(ss.Points))
+	}
+	if c := cap(ss.Points); c > 3 {
+		t.Fatalf("sparse series allocated capacity %d, want ≤ 3 (n+1 clamp)", c)
+	}
+}

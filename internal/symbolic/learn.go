@@ -185,6 +185,7 @@ func (t *Table) learnRepresentatives(values []float64) {
 			t.repr[i] = math.NaN()
 		}
 	}
+	t.refreshValues()
 }
 
 // SymbolEntropy returns the empirical entropy (bits) of the symbols produced

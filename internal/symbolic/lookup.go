@@ -20,6 +20,12 @@ type Table struct {
 	// repr[i] is the mean training value in bin i; NaN when the bin saw no
 	// training data (Value falls back to the bin center).
 	repr []float64
+	// values[i] is the resolved reconstruction value for bin i — repr[i]
+	// when known, otherwise the bin center. It is rebuilt by refreshValues
+	// after every repr mutation so the hot ingest path can resolve
+	// symbol→value by direct index with no NaN test, bounds math or error
+	// allocation per point.
+	values []float64
 	// min and max of the training data, closing the outer bins for centers.
 	min, max float64
 	// method records which learner produced the table (for reporting).
@@ -54,8 +60,33 @@ func NewTable(k int, separators []float64, min, max float64) (*Table, error) {
 	for i := range t.repr {
 		t.repr[i] = math.NaN()
 	}
+	t.refreshValues()
 	return t, nil
 }
+
+// refreshValues rebuilds the resolved reconstruction cache. Every code path
+// that mutates t.repr must call it before the table is used for decoding.
+func (t *Table) refreshValues() {
+	if t.values == nil {
+		t.values = make([]float64, len(t.repr))
+	}
+	level := uint8(t.alphabet.Level())
+	for i := range t.values {
+		if r := t.repr[i]; !math.IsNaN(r) {
+			t.values[i] = r
+			continue
+		}
+		lo, hi, _ := t.Bounds(Symbol{index: uint32(i), level: level})
+		t.values[i] = (lo + hi) / 2
+	}
+}
+
+// ReconstructionValues returns the per-bin reconstruction values indexed by
+// symbol index: repr means where training data was seen, bin centers
+// otherwise. The returned slice is owned by the table and must not be
+// modified; it stays valid until the next SetRepresentatives call. Batch
+// decoders use it to resolve symbol→value by direct index on the hot path.
+func (t *Table) ReconstructionValues() []float64 { return t.values }
 
 // K returns the alphabet size.
 func (t *Table) K() int { return t.alphabet.Size() }
@@ -90,11 +121,17 @@ func (t *Table) Encode(v float64) Symbol {
 
 // EncodeAll maps a slice of values to symbols.
 func (t *Table) EncodeAll(vs []float64) []Symbol {
-	out := make([]Symbol, len(vs))
-	for i, v := range vs {
-		out[i] = t.Encode(v)
+	return t.AppendEncode(make([]Symbol, 0, len(vs)), vs)
+}
+
+// AppendEncode appends the symbols for vs to dst and returns the extended
+// slice — the allocation-free form of EncodeAll for streaming callers that
+// reuse an output buffer across chunks.
+func (t *Table) AppendEncode(dst []Symbol, vs []float64) []Symbol {
+	for _, v := range vs {
+		dst = append(dst, t.Encode(v))
 	}
-	return out
+	return dst
 }
 
 // Bounds returns the half-open value interval (lo, hi] covered by the given
@@ -134,10 +171,7 @@ func (t *Table) Value(s Symbol) (float64, error) {
 	if s.Level() != t.Level() {
 		return 0, fmt.Errorf("symbolic: symbol level %d does not match table level %d", s.Level(), t.Level())
 	}
-	if r := t.repr[s.Index()]; !math.IsNaN(r) {
-		return r, nil
-	}
-	return t.Center(s)
+	return t.values[s.Index()], nil
 }
 
 // SetRepresentatives installs per-bin reconstruction values (one per
@@ -147,6 +181,7 @@ func (t *Table) SetRepresentatives(repr []float64) error {
 		return fmt.Errorf("symbolic: need %d representatives, got %d", t.K(), len(repr))
 	}
 	copy(t.repr, repr)
+	t.refreshValues()
 	return nil
 }
 
@@ -188,6 +223,7 @@ func (t *Table) Coarsen(k2 int) (*Table, error) {
 			out.repr[i] = sum / float64(n)
 		}
 	}
+	out.refreshValues()
 	return out, nil
 }
 

@@ -164,8 +164,23 @@ type Event struct {
 	// Table is set for FrameTable events.
 	Table *symbolic.Table
 	// Points is set for FrameSymbol events: the batch's symbols with their
-	// reconstructed window-end timestamps.
+	// reconstructed window-end timestamps. The slice aliases the Decoder's
+	// reusable scratch buffer and is valid only until the next call to Next;
+	// callers that retain the slice itself (rather than copying its
+	// elements) must take ClonePoints instead.
 	Points []symbolic.SymbolPoint
+}
+
+// ClonePoints returns a copy of the event's point batch that stays valid
+// after the next Decoder.Next call — the escape hatch for the rare caller
+// that stores the slice instead of consuming it inline.
+func (ev Event) ClonePoints() []symbolic.SymbolPoint {
+	if ev.Points == nil {
+		return nil
+	}
+	out := make([]symbolic.SymbolPoint, len(ev.Points))
+	copy(out, ev.Points)
+	return out
 }
 
 // Decoder incrementally decodes a sensor stream frame by frame. Unlike
@@ -173,18 +188,54 @@ type Event struct {
 // arrives, which is what a concurrent per-meter session loop needs: state
 // lands in a shared store batch-by-batch instead of accumulating per
 // connection.
+//
+// The Decoder owns three scratch buffers — the frame payload, the unpacked
+// symbols and the emitted points — that are reused across Next calls, so a
+// steady-state session decodes symbol batches without allocating.
 type Decoder struct {
 	r      io.Reader
 	tables int
+
+	// hdr is a field rather than a readFrameReuse local so the slice passed
+	// to the reader's Read does not force a heap allocation per frame.
+	hdr     [5]byte
+	payload []byte
+	syms    []symbolic.Symbol
+	pts     []symbolic.SymbolPoint
 }
 
 // NewDecoder wraps a reader positioned after any handshake.
 func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
 
+// readFrameReuse is readFrame reading the payload into the decoder's
+// reusable buffer instead of a fresh allocation per frame.
+func (d *Decoder) readFrameReuse() (typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return 0, nil, err // io.EOF for clean end, ErrUnexpectedEOF for torn header
+	}
+	n := binary.BigEndian.Uint32(d.hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
+	}
+	if cap(d.payload) < int(n) {
+		d.payload = make([]byte, n)
+	}
+	payload = d.payload[:n]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
+	}
+	return d.hdr[0], payload, nil
+}
+
 // Next decodes one frame. It returns io.EOF only on a clean stream end
 // between frames; an FrameEnd event signals orderly protocol shutdown.
+//
+// The returned event's Points slice is reused by the next call; see Event.
 func (d *Decoder) Next() (Event, error) {
-	typ, payload, err := readFrame(d.r)
+	typ, payload, err := d.readFrameReuse()
 	if err != nil {
 		return Event{}, err
 	}
@@ -208,12 +259,15 @@ func (d *Decoder) Next() (Event, error) {
 		if window <= 0 {
 			return Event{}, errors.New("transport: bad window in symbol frame")
 		}
-		symbols, err := symbolic.Unpack(payload[16:])
+		d.syms, err = symbolic.UnpackInto(d.syms, payload[16:])
 		if err != nil {
 			return Event{}, fmt.Errorf("transport: bad symbol frame: %w", err)
 		}
-		pts := make([]symbolic.SymbolPoint, len(symbols))
-		for i, sym := range symbols {
+		if cap(d.pts) < len(d.syms) {
+			d.pts = make([]symbolic.SymbolPoint, len(d.syms))
+		}
+		pts := d.pts[:len(d.syms)]
+		for i, sym := range d.syms {
 			pts[i] = symbolic.SymbolPoint{T: firstT + int64(i)*window, S: sym}
 		}
 		return Event{Type: FrameSymbol, Points: pts}, nil
@@ -237,6 +291,11 @@ type Sensor struct {
 	batchFirstT int64
 	nextT       int64
 	closed      bool
+	// scratch is the reusable frame-assembly buffer: sendBatch builds the
+	// whole symbol frame (header, timestamps, packed payload) into it and
+	// issues a single Write, so steady-state streaming neither allocates
+	// nor splits a frame across two writes.
+	scratch []byte
 }
 
 // NewSensor writes the table frame and returns a streaming sensor emitting
@@ -330,15 +389,21 @@ func (s *Sensor) flushBatch() error {
 }
 
 func (s *Sensor) sendBatch(firstT int64, symbols []symbolic.Symbol) error {
-	packed, err := symbolic.Pack(symbols)
+	// Frame layout: type(1) | length(4) | firstT(8) | window(8) | packed.
+	buf := s.scratch[:0]
+	var hdr [21]byte
+	hdr[0] = FrameSymbol
+	binary.BigEndian.PutUint64(hdr[5:13], uint64(firstT))
+	binary.BigEndian.PutUint64(hdr[13:21], uint64(s.window))
+	buf = append(buf, hdr[:]...)
+	buf, err := symbolic.AppendPack(buf, symbols)
 	if err != nil {
 		return err
 	}
-	payload := make([]byte, 16+len(packed))
-	binary.BigEndian.PutUint64(payload[0:8], uint64(firstT))
-	binary.BigEndian.PutUint64(payload[8:16], uint64(s.window))
-	copy(payload[16:], packed)
-	return writeFrame(s.w, FrameSymbol, payload)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(buf)-5))
+	s.scratch = buf
+	_, err = s.w.Write(buf)
+	return err
 }
 
 // Close flushes the trailing window and batch and writes the end frame.

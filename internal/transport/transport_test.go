@@ -470,3 +470,113 @@ func TestDecoderMatchesServer(t *testing.T) {
 		}
 	}
 }
+
+// buildSymbolStream writes one table frame followed by `frames` identical
+// symbol batches of `batch` consecutive windows each, returning the raw
+// stream bytes.
+func buildSymbolStream(t *testing.T, table *symbolic.Table, frames, batch int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sensor, err := NewSensor(&buf, table, 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames*batch; i++ {
+		if err := sensor.Push(timeseries.Point{T: int64(i), V: float64(i % 500)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecoderNextZeroAlloc enforces the Decoder's buffer-reuse contract:
+// after its scratch buffers reach the working size, decoding a symbol frame
+// must not allocate.
+func TestDecoderNextZeroAlloc(t *testing.T) {
+	table := testTable(t)
+	const frames = 300
+	data := buildSymbolStream(t, table, frames, 96)
+	dec := NewDecoder(bytes.NewReader(data))
+	// Warm up: table frame plus a few symbol frames grow the scratch buffers.
+	for i := 0; i < 4; i++ {
+		if _, err := dec.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ev, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != FrameSymbol || len(ev.Points) == 0 {
+			t.Fatalf("unexpected event %c with %d points", ev.Type, len(ev.Points))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decoder.Next allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDecoderPointsReused pins the documented valid-until-next-call
+// semantics: the Points slice aliases decoder scratch across calls, and
+// ClonePoints detaches a batch from it.
+func TestDecoderPointsReused(t *testing.T) {
+	table := testTable(t)
+	data := buildSymbolStream(t, table, 3, 8)
+	dec := NewDecoder(bytes.NewReader(data))
+	if _, err := dec.Next(); err != nil { // table frame
+		t.Fatal(err)
+	}
+	ev1, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ev1.Points[0]
+	clone := ev1.ClonePoints()
+	ev2, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ev1.Points[0] != &ev2.Points[0] {
+		t.Fatal("decoder allocated a fresh Points slice; expected scratch reuse")
+	}
+	if ev1.Points[0] == first {
+		t.Fatal("second Next did not overwrite the reused batch (test fixture too uniform)")
+	}
+	if clone[0] != first || len(clone) != 8 {
+		t.Fatal("ClonePoints did not preserve the first batch")
+	}
+	if (Event{}).ClonePoints() != nil {
+		t.Fatal("ClonePoints of empty event must be nil")
+	}
+}
+
+// TestSensorSteadyStateZeroAlloc enforces the sensor-side contract: pushing
+// measurements through completed windows and batch flushes must not
+// allocate once the batch and frame scratch buffers exist.
+func TestSensorSteadyStateZeroAlloc(t *testing.T) {
+	table := testTable(t)
+	const batch = 16
+	sensor, err := NewSensor(io.Discard, table, 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int64(0)
+	push := func() {
+		// One run = one full batch: batch completed windows, one flush.
+		for i := 0; i < batch; i++ {
+			if err := sensor.Push(timeseries.Point{T: next, V: float64(next % 700)}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	push() // grow scratch buffers
+	allocs := testing.AllocsPerRun(200, push)
+	if allocs != 0 {
+		t.Fatalf("steady-state Sensor.Push allocates %.1f times per run, want 0", allocs)
+	}
+}
