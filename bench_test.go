@@ -21,6 +21,7 @@ import (
 	"symmeter/internal/benchref"
 	"symmeter/internal/dataset"
 	"symmeter/internal/experiments"
+	"symmeter/internal/query"
 	"symmeter/internal/sax"
 	"symmeter/internal/server"
 	"symmeter/internal/stats"
@@ -426,10 +427,37 @@ func BenchmarkUnpack(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryEngine measures the compressed-domain query engine against
+// its decode-then-aggregate baseline over a fixture of 32 meters × 4 weeks
+// of 15-minute symbols. The query side reads block summaries and runs LUT
+// kernels on edge blocks, one goroutine per shard; the baseline reconstructs
+// every stream and loops the floats. Bodies live in internal/benchref so
+// cmd/bench (BENCH_3.json) measures identical code.
+func BenchmarkQueryEngine(b *testing.B) {
+	const meters, perMeter = benchref.QueryFixtureMeters, benchref.QueryFixturePoints
+	st, err := benchref.MakeQueryStore(meters, perMeter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := benchref.SanityCheckQueryFixture(st, meters, perMeter); err != nil {
+		b.Fatal(err)
+	}
+	total := meters * perMeter
+	eng := query.New(st)
+	wt0, wt1, wpts := benchref.QueryWindow()
+	b.Run("fleet-sum", func(b *testing.B) { benchref.BenchQueryFleetSum(b, eng, total) })
+	b.Run("fleet-hist", func(b *testing.B) { benchref.BenchQueryFleetHistogram(b, eng, total) })
+	b.Run("meter-window", func(b *testing.B) {
+		benchref.BenchQueryMeterWindow(b, eng, 1, wt0, wt1, wpts)
+	})
+	b.Run("baseline-fleet-sum", func(b *testing.B) { benchref.BenchBaselineFleetSum(b, st, total) })
+	b.Run("baseline-fleet-hist", func(b *testing.B) { benchref.BenchBaselineFleetHistogram(b, st, 16, total) })
+}
+
 // BenchmarkStoreAppend measures committing one decoded day-batch into the
-// sharded store — the per-batch cost behind fleet ingest. Capacity is
-// reserved up front, so the measured path is pure validate + reconstruct +
-// commit with zero allocations.
+// sharded packed block store — the per-batch cost behind fleet ingest.
+// Capacity is reserved up front, so the measured path is pure validate +
+// bit-pack + summary update with zero allocations.
 func BenchmarkStoreAppend(b *testing.B) {
 	_, table := benchSeries(b, 16)
 	pts := make([]symbolic.SymbolPoint, 96)

@@ -1,15 +1,19 @@
 // Command bench runs the hot-path micro-benchmarks — symbol codec pack and
 // unpack (word-at-a-time kernel vs the bit-at-a-time baseline kept in
-// internal/benchref) and sharded-store batch ingest — and writes the
-// results as JSON, so every PR's perf trajectory is recorded as an
-// artifact instead of scrolling away in CI logs.
+// internal/benchref), sharded-store batch ingest, and the compressed-domain
+// query engine vs its decode-then-aggregate baseline — and writes the
+// results as JSON, so every PR's perf trajectory is recorded as an artifact
+// instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_2.json
+//	bench                         # writes BENCH_3.json
 //	bench -out /tmp/b.json -benchtime 100ms
+//	bench -cpuprofile cpu.out     # profile the query path
 //
-// The JSON carries ns/op, symbols/sec, B/op and allocs/op per benchmark
-// plus the speedup of each word-at-a-time kernel over its bit-at-a-time
-// baseline (the acceptance floor for the codec rewrite is 4x at level 4).
+// The JSON carries ns/op, symbols/sec, B/op and allocs/op per benchmark,
+// the speedup of each kernel over its baseline (pack/unpack floors at 4x;
+// the compressed-domain query floor is 5x over decode-then-aggregate), and
+// the store's measured resident bytes per point against the 24-byte
+// ReconPoint layout it replaced (floor: 10x reduction).
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"testing"
 
 	"symmeter/internal/benchref"
+	"symmeter/internal/profiling"
+	"symmeter/internal/query"
 	"symmeter/internal/symbolic"
 )
 
@@ -35,7 +41,18 @@ type Result struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 }
 
-// Report is the BENCH_2.json document.
+// MemoryStats is the measured storage cost of the packed block store.
+type MemoryStats struct {
+	// PackedBytesPerPoint is Store.MemoryFootprint over the query fixture:
+	// payloads, histogram lanes, block metadata and arena slack.
+	PackedBytesPerPoint float64 `json:"packed_bytes_per_point"`
+	// ReconBytesPerPoint is the 24-byte ReconPoint the store used to hold.
+	ReconBytesPerPoint float64 `json:"recon_bytes_per_point"`
+	// Reduction is Recon/Packed (acceptance floor: ≥ 10).
+	Reduction float64 `json:"reduction"`
+}
+
+// Report is the BENCH_3.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
@@ -43,7 +60,8 @@ type Report struct {
 	GOARCH   string             `json:"goarch"`
 	CPUs     int                `json:"cpus"`
 	Results  []Result           `json:"results"`
-	Speedups map[string]float64 `json:"speedup_vs_bitwise"`
+	Speedups map[string]float64 `json:"speedup_vs_baseline"`
+	Memory   MemoryStats        `json:"memory"`
 }
 
 func main() {
@@ -56,8 +74,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath   = fs.String("out", "BENCH_2.json", "output JSON path")
-		benchtime = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
+		outPath    = fs.String("out", "BENCH_3.json", "output JSON path")
+		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,9 +91,14 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/2",
+		Schema:   "symmeter-bench/3",
 		Go:       runtime.Version(),
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
@@ -82,7 +107,16 @@ func run(args []string, out io.Writer) error {
 	}
 	nsOf := map[string]float64{}
 	record := func(name string, symbolsPerOp int, f func(b *testing.B)) {
+		// Best of three: allocating benchmarks jitter ±15-20% with allocator
+		// and GC state, and the CI regression gate compares these numbers at
+		// a 20% threshold — the minimum is the standard noise reducer for
+		// throughput gates (what benchstat's min column exists for).
 		r := testing.Benchmark(f)
+		for i := 0; i < 2; i++ {
+			if again := testing.Benchmark(f); float64(again.T.Nanoseconds())/float64(again.N) < float64(r.T.Nanoseconds())/float64(r.N) {
+				r = again
+			}
+		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		rep.Results = append(rep.Results, Result{
 			Name:          name,
@@ -109,7 +143,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// The benchmark bodies are shared with bench_test.go via internal/benchref
-	// so BENCH_2.json and `go test -bench` cannot measure different code.
+	// so BENCH_3.json and `go test -bench` cannot measure different code.
 	record("pack/word", n, func(b *testing.B) { benchref.BenchPackWord(b, syms) })
 	record("pack/word-append", n, func(b *testing.B) { benchref.BenchPackAppend(b, syms) })
 	record("pack/bitwise", n, func(b *testing.B) { benchref.BenchPackBitwise(b, syms) })
@@ -117,7 +151,7 @@ func run(args []string, out io.Writer) error {
 	record("unpack/word-into", n, func(b *testing.B) { benchref.BenchUnpackInto(b, packed, n) })
 	record("unpack/bitwise", n, func(b *testing.B) { benchref.BenchUnpackBitwise(b, packed, n) })
 
-	table, err := storeTable()
+	table, err := benchref.StoreTable()
 	if err != nil {
 		return err
 	}
@@ -127,12 +161,48 @@ func run(args []string, out io.Writer) error {
 	}
 	record("store/append-batch96", n, func(b *testing.B) { benchref.BenchStoreAppend(b, table, pts) })
 
+	// Compressed-domain query engine vs decode-then-aggregate, over a fixture
+	// of 32 meters × 4 weeks of 15-minute symbols.
+	const meters, perMeter = benchref.QueryFixtureMeters, benchref.QueryFixturePoints
+	st, err := benchref.MakeQueryStore(meters, perMeter)
+	if err != nil {
+		return err
+	}
+	if err := benchref.SanityCheckQueryFixture(st, meters, perMeter); err != nil {
+		return err
+	}
+	total := meters * perMeter
+	eng := query.New(st)
+	record("query/fleet-sum", total, func(b *testing.B) { benchref.BenchQueryFleetSum(b, eng, total) })
+	record("query/fleet-hist", total, func(b *testing.B) { benchref.BenchQueryFleetHistogram(b, eng, total) })
+	// A window cutting inside blocks on both ends: summaries in the middle,
+	// per-byte LUT kernels at the edges.
+	wt0, wt1, wpts := benchref.QueryWindow()
+	record("query/meter-window", wpts, func(b *testing.B) {
+		benchref.BenchQueryMeterWindow(b, eng, 1, wt0, wt1, wpts)
+	})
+	record("baseline/fleet-sum", total, func(b *testing.B) { benchref.BenchBaselineFleetSum(b, st, total) })
+	record("baseline/fleet-hist", total, func(b *testing.B) { benchref.BenchBaselineFleetHistogram(b, st, k, total) })
+
 	rep.Speedups["pack"] = nsOf["pack/bitwise"] / nsOf["pack/word-append"]
 	rep.Speedups["pack_alloc"] = nsOf["pack/bitwise"] / nsOf["pack/word"]
 	rep.Speedups["unpack"] = nsOf["unpack/bitwise"] / nsOf["unpack/word-into"]
 	rep.Speedups["unpack_alloc"] = nsOf["unpack/bitwise"] / nsOf["unpack/word"]
+	rep.Speedups["query_sum"] = nsOf["baseline/fleet-sum"] / nsOf["query/fleet-sum"]
+	rep.Speedups["query_hist"] = nsOf["baseline/fleet-hist"] / nsOf["query/fleet-hist"]
 	fmt.Fprintf(out, "speedup vs bitwise: pack %.1fx (alloc %.1fx), unpack %.1fx (alloc %.1fx)\n",
 		rep.Speedups["pack"], rep.Speedups["pack_alloc"], rep.Speedups["unpack"], rep.Speedups["unpack_alloc"])
+	fmt.Fprintf(out, "speedup vs decode-then-aggregate: sum %.1fx, histogram %.1fx\n",
+		rep.Speedups["query_sum"], rep.Speedups["query_hist"])
+
+	bytes, points := st.MemoryFootprint()
+	rep.Memory = MemoryStats{
+		PackedBytesPerPoint: float64(bytes) / float64(points),
+		ReconBytesPerPoint:  24,
+	}
+	rep.Memory.Reduction = rep.Memory.ReconBytesPerPoint / rep.Memory.PackedBytesPerPoint
+	fmt.Fprintf(out, "memory: %.2f B/point packed vs %.0f B/point ReconPoint (%.1fx reduction)\n",
+		rep.Memory.PackedBytesPerPoint, rep.Memory.ReconBytesPerPoint, rep.Memory.Reduction)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -143,14 +213,6 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", *outPath, len(rep.Results))
-	return nil
-}
 
-// storeTable learns a small k=16 table for the store-ingest benchmark.
-func storeTable() (*symbolic.Table, error) {
-	vals := make([]float64, 4096)
-	for i := range vals {
-		vals[i] = float64(i * 7919 % 4000)
-	}
-	return symbolic.Learn(symbolic.MethodMedian, vals, 16)
+	return profiling.WriteHeap(*memprofile)
 }

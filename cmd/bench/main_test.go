@@ -9,7 +9,7 @@ import (
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_2.json structure.
+// validates the BENCH_3.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,11 +24,11 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/2" {
+	if rep.Schema != "symmeter-bench/3" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Results) != 7 {
-		t.Fatalf("got %d results, want 7", len(rep.Results))
+	if len(rep.Results) != 12 {
+		t.Fatalf("got %d results, want 12", len(rep.Results))
 	}
 	names := map[string]Result{}
 	for _, r := range rep.Results {
@@ -37,13 +37,18 @@ func TestRunSmoke(t *testing.T) {
 		}
 		names[r.Name] = r
 	}
-	for _, want := range []string{"pack/word-append", "unpack/word-into", "store/append-batch96", "pack/bitwise", "unpack/bitwise"} {
+	for _, want := range []string{
+		"pack/word-append", "unpack/word-into", "store/append-batch96",
+		"pack/bitwise", "unpack/bitwise",
+		"query/fleet-sum", "query/fleet-hist", "query/meter-window",
+		"baseline/fleet-sum", "baseline/fleet-hist",
+	} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing benchmark %q", want)
 		}
 	}
-	// The zero-allocation contract holds even at smoke benchtime.
-	for _, name := range []string{"pack/word-append", "unpack/word-into"} {
+	// The zero-allocation contracts hold even at smoke benchtime.
+	for _, name := range []string{"pack/word-append", "unpack/word-into", "query/meter-window"} {
 		if a := names[name].AllocsPerOp; a != 0 {
 			t.Fatalf("%s allocates %d times per op, want 0", name, a)
 		}
@@ -52,6 +57,18 @@ func TestRunSmoke(t *testing.T) {
 		if s <= 0 {
 			t.Fatalf("speedup %q = %v", key, s)
 		}
+	}
+	for _, key := range []string{"query_sum", "query_hist", "pack", "unpack"} {
+		if _, ok := rep.Speedups[key]; !ok {
+			t.Fatalf("missing speedup %q", key)
+		}
+	}
+	// The memory claim is deterministic (pure accounting, no timing): the
+	// packed store must beat 24 B/point ReconPoints by ≥ 10x even at smoke
+	// settings.
+	if rep.Memory.Reduction < 10 {
+		t.Fatalf("memory reduction = %.1fx (%.2f B/point), want ≥ 10x",
+			rep.Memory.Reduction, rep.Memory.PackedBytesPerPoint)
 	}
 }
 
@@ -62,5 +79,29 @@ func TestRunBadFlag(t *testing.T) {
 	}
 	if err := run([]string{"-h"}, &buf); err != nil {
 		t.Fatalf("-h should be nil, got %v", err)
+	}
+}
+
+// TestProfileFlags exercises the pprof plumbing end to end: both profile
+// files must exist and be non-empty after a smoke run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", filepath.Join(dir, "b.json"), "-benchtime", "1ms",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

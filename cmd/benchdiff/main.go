@@ -1,0 +1,188 @@
+// Command benchdiff is the CI bench-regression gate: it compares the
+// symbols/sec throughput of matching benchmarks between a committed baseline
+// report (BENCH_2.json) and a freshly-measured one (BENCH_3.json) and fails
+// when any compared benchmark regressed by more than the allowed fraction.
+//
+//	benchdiff -baseline BENCH_2.json -current BENCH_3.json -max-regress 0.20
+//
+// Only the codec benchmarks (pack/*, unpack/*) are compared by default:
+// their workloads are identical across report schemas, so a slowdown is a
+// real kernel regression rather than a fixture change. Store and query
+// benchmarks change shape as the storage engine evolves; they are tracked
+// by inspection of the uploaded artifacts instead.
+//
+// The committed baseline was measured on a different machine than CI runs
+// on, so absolute symbols/sec would gate hardware variance, not code. Each
+// compared benchmark is therefore normalized by its own report's frozen
+// bit-at-a-time baseline (pack/bitwise or unpack/bitwise, measured in the
+// same run on the same machine): the gated quantity is the word-kernel
+// speedup, which a slower runner scales identically in both kernels.
+// Reports lacking the family baseline fall back to absolute throughput.
+//
+// The allocating convenience wrappers (pack/word, unpack/word) are excluded
+// by default: their cost is dominated by the allocator and jitters ±15-20%
+// with heap state, which a 20% gate cannot distinguish from a regression.
+// The zero-allocation forms (pack/word-append, unpack/word-into) are the
+// wire path's actual kernels and measure deterministically; the wrappers
+// stay visible in the uploaded artifacts for inspection.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// report is the subset of a bench JSON document benchdiff needs — it reads
+// both the schema-2 and schema-3 layouts.
+type report struct {
+	Schema  string `json:"schema"`
+	Results []struct {
+		Name          string  `json:"name"`
+		SymbolsPerSec float64 `json:"symbols_per_sec"`
+	} `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_2.json", "committed baseline report")
+		currentPath  = fs.String("current", "BENCH_3.json", "freshly-measured report")
+		maxRegress   = fs.Float64("max-regress", 0.20, "maximum allowed throughput regression fraction")
+		prefixes     = fs.String("prefixes", "pack/,unpack/", "comma-separated benchmark name prefixes to compare")
+		exclude      = fs.String("exclude", "pack/word,unpack/word", "comma-separated exact benchmark names to skip (allocator-noise-dominated)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		return err
+	}
+	baseOf := rates(base)
+	curOf := rates(cur)
+
+	wanted := strings.Split(*prefixes, ",")
+	excluded := map[string]bool{}
+	for _, name := range strings.Split(*exclude, ",") {
+		if name != "" {
+			excluded[name] = true
+		}
+	}
+	gated := func(name string) bool {
+		if excluded[name] {
+			return false
+		}
+		for _, p := range wanted {
+			if p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	compared := 0
+	var failures []string
+	for _, r := range cur.Results {
+		if !gated(r.Name) {
+			continue
+		}
+		ref, ok := baseOf[r.Name]
+		if !ok || ref <= 0 {
+			continue // new benchmark, nothing to regress against
+		}
+		// Normalize both sides by their own run's frozen bitwise baseline so
+		// the hardware factor cancels; the family baseline itself (x/bitwise)
+		// then always compares at 1.00x, which is correct — it is the ruler.
+		refNorm, curNorm := normalizer(baseOf, r.Name), normalizer(curOf, r.Name)
+		if refNorm <= 0 || curNorm <= 0 {
+			refNorm, curNorm = 1, 1
+		}
+		compared++
+		ratio := (r.SymbolsPerSec / curNorm) / (ref / refNorm)
+		status := "ok"
+		if ratio < 1-*maxRegress {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.2fx of baseline", r.Name, ratio))
+		}
+		fmt.Fprintf(out, "%-24s %14.0f -> %14.0f sym/s  (%.2fx relative) %s\n", r.Name, ref, r.SymbolsPerSec, ratio, status)
+	}
+	// A gated benchmark that disappears from the current report is lost
+	// coverage, not a pass — dropping or renaming one must come with a
+	// conscious baseline update.
+	var missing []string
+	for _, r := range base.Results {
+		if !gated(r.Name) {
+			continue
+		}
+		if _, ok := curOf[r.Name]; !ok {
+			missing = append(missing, r.Name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("baseline benchmark(s) missing from %s: %s (update the baseline deliberately if they were retired)",
+			*currentPath, strings.Join(missing, ", "))
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable benchmarks between %s and %s (prefixes %q)", *baselinePath, *currentPath, *prefixes)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(failures), *maxRegress*100, strings.Join(failures, "; "))
+	}
+	fmt.Fprintf(out, "%d benchmarks within %.0f%% of baseline\n", compared, *maxRegress*100)
+	return nil
+}
+
+// rates indexes a report's throughputs by benchmark name.
+func rates(r *report) map[string]float64 {
+	m := make(map[string]float64, len(r.Results))
+	for _, res := range r.Results {
+		m[res.Name] = res.SymbolsPerSec
+	}
+	return m
+}
+
+// normalizer returns the throughput of the frozen bit-at-a-time baseline
+// for name's family within the same report ("pack/…" → "pack/bitwise"), or
+// 0 when the report has none (callers then compare absolutes).
+func normalizer(rates map[string]float64, name string) float64 {
+	family, _, ok := strings.Cut(name, "/")
+	if !ok {
+		return 0
+	}
+	return rates[family+"/bitwise"]
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &r, nil
+}

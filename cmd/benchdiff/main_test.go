@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, schema string, rates map[string]float64) string {
+	t.Helper()
+	type result struct {
+		Name          string  `json:"name"`
+		SymbolsPerSec float64 `json:"symbols_per_sec"`
+	}
+	doc := struct {
+		Schema  string   `json:"schema"`
+		Results []result `json:"results"`
+	}{Schema: schema}
+	for bench, r := range rates {
+		doc.Results = append(doc.Results, result{Name: bench, SymbolsPerSec: r})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffWithinBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/2", map[string]float64{
+		"pack/word-append": 1000000,
+		"unpack/word-into": 2000000,
+		"store/append":     900000, // not compared (prefix filter)
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/3", map[string]float64{
+		"pack/word-append": 900000, // -10%: within the 20% budget
+		"unpack/word-into": 2500000,
+		"store/append":     100, // huge regression, but filtered out
+		"query/new-kind":   42,  // new benchmark: ignored
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 benchmarks within 20%") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestDiffCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/2", map[string]float64{
+		"pack/word-append": 1000000,
+		"unpack/word-into": 2000000,
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/3", map[string]float64{
+		"pack/word-append": 700000, // -30%: over budget
+		"unpack/word-into": 2000000,
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil {
+		t.Fatalf("want regression error, got none:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "pack/word-append") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+}
+
+// TestDiffNormalizesAcrossMachines pins the cross-machine contract: a
+// uniformly slower runner (every benchmark halved, bitwise baseline
+// included) is not a regression, while a kernel that lost speedup relative
+// to its own run's bitwise baseline is — even when its absolute throughput
+// looks acceptable on a faster machine.
+func TestDiffNormalizesAcrossMachines(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/2", map[string]float64{
+		"pack/word-append": 1000000, // 10x the bitwise ruler
+		"pack/bitwise":     100000,
+	})
+	slowRunner := writeReport(t, dir, "slow.json", "symmeter-bench/3", map[string]float64{
+		"pack/word-append": 500000, // half the absolute speed, same 10x speedup
+		"pack/bitwise":     50000,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", slowRunner}, &out); err != nil {
+		t.Fatalf("uniformly slower runner flagged as regression: %v\n%s", err, out.String())
+	}
+
+	fastButRegressed := writeReport(t, dir, "fast.json", "symmeter-bench/3", map[string]float64{
+		"pack/word-append": 1200000, // absolutely faster, but only 6x its ruler
+		"pack/bitwise":     200000,
+	})
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", fastButRegressed}, &out); err == nil {
+		t.Fatalf("relative kernel regression masked by a faster machine:\n%s", out.String())
+	}
+}
+
+// TestDiffMissingBenchmark pins the coverage-loss guard: a gated benchmark
+// that vanishes from the current report fails the diff instead of silently
+// shrinking the gate.
+func TestDiffMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/2", map[string]float64{
+		"pack/word-append": 1000000,
+		"pack/retired":     500000,
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/3", map[string]float64{
+		"pack/word-append": 1000000,
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "pack/retired") {
+		t.Fatalf("dropped benchmark not flagged: %v\n%s", err, out.String())
+	}
+}
+
+// TestDiffExcludesAllocatingWrappers pins the default exclusion: the
+// allocator-noise-dominated pack/word and unpack/word are not gated (even
+// when badly regressed) unless -exclude is overridden.
+func TestDiffExcludesAllocatingWrappers(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/2", map[string]float64{
+		"pack/word":        1000000,
+		"pack/word-append": 1000000,
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/3", map[string]float64{
+		"pack/word":        100000, // 10x down, but excluded by default
+		"pack/word-append": 950000,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("excluded benchmark gated anyway: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-exclude", ""}, &out); err == nil {
+		t.Fatalf("-exclude '' should gate the wrapper:\n%s", out.String())
+	}
+}
+
+func TestDiffNoComparable(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "s", map[string]float64{"store/x": 1})
+	cur := writeReport(t, dir, "cur.json", "s", map[string]float64{"store/x": 1})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("want error when nothing is comparable")
+	}
+}
+
+func TestDiffMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", "/nonexistent.json"}, &out); err == nil {
+		t.Fatal("want error for missing baseline")
+	}
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h should be nil, got %v", err)
+	}
+}

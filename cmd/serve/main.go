@@ -1,14 +1,19 @@
 // Command serve demonstrates the §2 deployment story at fleet scale over
 // real TCP on localhost: a concurrent aggregation server listens with a
-// sharded in-memory store, M simulated smart meters connect in parallel,
+// sharded packed block store, M simulated smart meters connect in parallel,
 // each handshakes with its meter ID, learns a lookup table from two days of
 // history, streams days of symbols (15-minute vertical segmentation by
-// default), and the server reconstructs approximate consumption per meter
-// and prints a summary — per-meter MAE, total symbols/sec, bytes on wire.
+// default), and the server answers fleet-wide aggregates directly in the
+// compressed domain — count, mean, min, max and (optionally) the symbol
+// histogram over a queried time range — alongside the per-meter MAE
+// reconstruction check.
 //
 //	serve                        # 4 meters, 16 shards, 1 day each
 //	serve -meters 64 -shards 32 -days 3
 //	serve -meters 2 -seconds 3600    # only the first hour of each day
+//	serve -hist -qfrom 172800 -qto 216000  # histogram of the live day's first 12 hours
+//	                                       # (stored data starts after the 2 training days)
+//	serve -cpuprofile cpu.out        # profile ingest + query
 package main
 
 import (
@@ -16,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
+	"symmeter/internal/profiling"
+	"symmeter/internal/query"
 	"symmeter/internal/server"
 	"symmeter/internal/symbolic"
 )
@@ -30,18 +38,23 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:0", "listen address")
-		meters  = fs.Int("meters", 4, "number of concurrent simulated meters")
-		shards  = fs.Int("shards", 16, "store shard count")
-		days    = fs.Int("days", 1, "days of live data each meter streams after its 2 training days")
-		seconds = fs.Int64("seconds", 0, "cap each day to its first N seconds (0 = whole day)")
-		seed    = fs.Int64("seed", 1, "dataset seed (meter i uses seed+i)")
-		k       = fs.Int("k", 16, "alphabet size")
-		window  = fs.Int64("window", 900, "vertical window seconds")
-		relearn = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
+		addr       = fs.String("addr", "127.0.0.1:0", "listen address")
+		meters     = fs.Int("meters", 4, "number of concurrent simulated meters")
+		shards     = fs.Int("shards", 16, "store shard count")
+		days       = fs.Int("days", 1, "days of live data each meter streams after its 2 training days")
+		seconds    = fs.Int64("seconds", 0, "cap each day to its first N seconds (0 = whole day)")
+		seed       = fs.Int64("seed", 1, "dataset seed (meter i uses seed+i)")
+		k          = fs.Int("k", 16, "alphabet size")
+		window     = fs.Int64("window", 900, "vertical window seconds")
+		relearn    = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
+		qfrom      = fs.Int64("qfrom", 0, "query range start (seconds since the stream epoch)")
+		qto        = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
+		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -49,6 +62,17 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	}
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	// A missing profile must fail the command, like cmd/bench's.
+	defer func() {
+		if werr := profiling.WriteHeap(*memprofile); werr != nil && err == nil {
+			err = werr
+		}
+	}()
 
 	fleetCfg := server.FleetConfig{
 		Meters:        *meters,
@@ -108,10 +132,41 @@ func run(args []string, out io.Writer) error {
 			m.MeterID, m.Sent, m.Symbols, m.MAE)
 	}
 
-	st := svc.Stats()
-	rate := float64(st.Symbols) / elapsed.Seconds()
+	// The fleet summary is answered by the compressed-domain query engine —
+	// block summaries plus LUT edge kernels over the packed store, one
+	// goroutine per shard — not by reconstructing streams.
+	eng := query.New(svc.Store())
+	t0, t1 := *qfrom, *qto
+	if t1 <= 0 {
+		// Unbounded: only a point at exactly MaxInt64 is unreachable by a
+		// half-open range, so this matches the stored total.
+		t1 = math.MaxInt64
+	}
+	qstart := time.Now()
+	agg := eng.FleetAggregate(t0, t1)
+	qelapsed := time.Since(qstart)
+	// The ingest total is always the full stored count — the -qfrom/-qto
+	// window restricts only the query line below.
+	stored := svc.Store().TotalSymbols()
+
+	rate := float64(stored) / elapsed.Seconds()
 	fmt.Fprintf(out, "fleet: %d meters sent %d raw measurements -> %d symbols in %v (%.0f symbols/sec)\n",
-		len(rep.Meters), rep.Sent, st.Symbols, elapsed.Round(time.Millisecond), rate)
+		len(rep.Meters), rep.Sent, stored, elapsed.Round(time.Millisecond), rate)
+	if agg.Count > 0 {
+		fmt.Fprintf(out, "query: fleet mean %.1f W, min %.1f W, max %.1f W over [%d,%d) — %d points in %v, compressed-domain\n",
+			agg.Mean(), agg.Min, agg.Max, t0, t1, agg.Count, qelapsed.Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(out, "query: no points in [%d,%d) (%v, compressed-domain)\n", t0, t1, qelapsed.Round(time.Microsecond))
+	}
+	if *hist {
+		h, err := eng.FleetHistogram(t0, t1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "query: histogram (level %d): %v\n", h.Level, h.Counts)
+	}
+
+	st := svc.Stats()
 	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",
 		st.BytesIn, symbolic.RawSize(rep.Sent))
 	if errs := svc.SessionErrors(); len(errs) > 0 {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,6 +25,8 @@ func TestServeEndToEnd(t *testing.T) {
 		"(4 shards)",
 		"fleet: 2 meters",
 		"symbols/sec)",
+		"compressed-domain",
+		"query: fleet mean",
 		"bytes in",
 		"session errors: 0",
 	} {
@@ -32,6 +36,39 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if n := strings.Count(got, "raw -> "); n != 2 {
 		t.Errorf("want 2 per-meter summary lines, got %d:\n%s", n, got)
+	}
+}
+
+// TestServeHistogramAndProfiles covers the query-range flags, the fleet
+// histogram, and the pprof plumbing in one end-to-end run.
+func TestServeHistogramAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	var out bytes.Buffer
+	// The two training days precede the streamed day, so live timestamps
+	// start at 2·86400 = 172800.
+	err := run([]string{
+		"-meters", "1", "-shards", "2", "-seconds", "600", "-window", "60",
+		"-hist", "-qfrom", "172800", "-qto", "173100",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "query: histogram (level 4):") {
+		t.Errorf("output missing histogram line:\n%s", got)
+	}
+	// The generator simulates missing windows, so the exact count varies;
+	// the range must be echoed and must cover at least one point.
+	if !strings.Contains(got, "over [172800,173100)") || strings.Contains(got, "— 0 points") {
+		t.Errorf("query over [172800,173100) should report its range and cover points:\n%s", got)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
 	}
 }
 

@@ -1,0 +1,134 @@
+package benchref
+
+import (
+	"fmt"
+
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+)
+
+// Decode-then-aggregate baselines for the compressed-domain query engine.
+// This is what aggregation looked like before internal/query existed — and
+// what it costs in any store that materializes points: reconstruct a meter's
+// full stream (Snapshot), then loop over the float points filtering by time.
+// cmd/bench and bench_test.go report the query engine's speedup against
+// these, so the "never materialize" claim stays a measured number instead of
+// prose.
+
+// BaselineFleetSum sums reconstruction values over [t0, t1) across every
+// meter by full reconstruction.
+func BaselineFleetSum(st *server.Store, t0, t1 int64) (float64, uint64) {
+	var sum float64
+	var count uint64
+	for _, id := range st.Meters() {
+		snap, ok := st.Snapshot(id)
+		if !ok {
+			continue
+		}
+		for _, p := range snap.Points {
+			if p.T >= t0 && p.T < t1 {
+				sum += p.V
+				count++
+			}
+		}
+	}
+	return sum, count
+}
+
+// BaselineFleetHistogram counts symbols over [t0, t1) across every meter by
+// full reconstruction. All meters must share the level that sizes hist.
+func BaselineFleetHistogram(st *server.Store, hist []uint64, t0, t1 int64) []uint64 {
+	clear(hist)
+	for _, id := range st.Meters() {
+		snap, ok := st.Snapshot(id)
+		if !ok {
+			continue
+		}
+		for _, p := range snap.Points {
+			if p.T >= t0 && p.T < t1 {
+				hist[p.S.Index()]++
+			}
+		}
+	}
+	return hist
+}
+
+// Query-benchmark workload parameters, shared by cmd/bench and the repo's
+// bench_test.go for the same reason the bench bodies are: the CI artifact
+// and `go test -bench` must measure the identical workload.
+const (
+	// QueryFixtureMeters is the fleet size of the query fixture.
+	QueryFixtureMeters = 32
+	// QueryFixturePoints is symbols per meter: 4 weeks of 15-minute windows.
+	QueryFixturePoints = 4 * 7 * 96
+)
+
+// QueryWindow returns the single-meter benchmark range that cuts inside
+// blocks on both ends, and the number of points it covers: indices
+// 100..QueryFixturePoints-100 inclusive.
+func QueryWindow() (t0, t1 int64, points int) {
+	return 100 * 900, int64(QueryFixturePoints-100)*900 + 450, QueryFixturePoints - 199
+}
+
+// MakeQueryStore builds the query-benchmark fixture: `meters` meters, each
+// with `points` stored symbols at k=16 (the paper's headline alphabet),
+// 15-minute windows, streamed through Store.Append in 96-symbol batches
+// exactly as live sessions commit them.
+func MakeQueryStore(meters, points int) (*server.Store, error) {
+	table, err := StoreTable()
+	if err != nil {
+		return nil, err
+	}
+	st := server.NewStore(16)
+	level := table.Level()
+	k := table.K()
+	for m := 1; m <= meters; m++ {
+		id := uint64(m)
+		if err := st.StartSession(id); err != nil {
+			return nil, err
+		}
+		if err := st.PushTable(id, table); err != nil {
+			return nil, err
+		}
+		if err := st.Reserve(id, points); err != nil {
+			return nil, err
+		}
+		var ts int64
+		for sent := 0; sent < points; {
+			batch := 96
+			if batch > points-sent {
+				batch = points - sent
+			}
+			pts := make([]symbolic.SymbolPoint, batch)
+			for i := range pts {
+				pts[i] = symbolic.SymbolPoint{T: ts, S: symbolic.NewSymbol((m*7+int(ts/900)*11)%k, level)}
+				ts += 900
+			}
+			if _, err := st.Append(id, pts); err != nil {
+				return nil, err
+			}
+			sent += batch
+		}
+		st.EndSession(id)
+	}
+	return st, nil
+}
+
+// StoreTable learns the small k=16 table shared by the store and query
+// benchmarks (exported so cmd/bench measures the identical fixture).
+func StoreTable() (*symbolic.Table, error) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = float64(i * 7919 % 4000)
+	}
+	return symbolic.Learn(symbolic.MethodMedian, vals, 16)
+}
+
+// SanityCheckQueryFixture verifies the fixture holds what the benchmarks
+// assume (meters × points symbols, all at level 4).
+func SanityCheckQueryFixture(st *server.Store, meters, points int) error {
+	if got, want := st.TotalSymbols(), meters*points; got != want {
+		return fmt.Errorf("benchref: fixture has %d symbols, want %d", got, want)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package benchref
 import (
 	"testing"
 
+	"symmeter/internal/query"
 	"symmeter/internal/server"
 	"symmeter/internal/symbolic"
 )
@@ -91,8 +92,10 @@ func BenchUnpackBitwise(b *testing.B, data []byte, perOp int) {
 }
 
 // BenchStoreAppend measures committing one decoded batch into the sharded
-// store with capacity reserved — the pure validate + reconstruct + commit
-// path. One store holds `slab` batches and is recycled off-timer, so the
+// packed block store with capacity reserved — the pure validate + bit-pack +
+// summary-update path. Timestamps advance monotonically across batches like
+// a live meter's, so blocks fill to capacity instead of sealing per batch.
+// One store holds `slab` batches and is recycled off-timer, so the
 // benchmark's resident memory stays bounded for any b.N.
 func BenchStoreAppend(b *testing.B, table *symbolic.Table, pts []symbolic.SymbolPoint) {
 	const slab = 1 << 14
@@ -110,17 +113,99 @@ func BenchStoreAppend(b *testing.B, table *symbolic.Table, pts []symbolic.Symbol
 		return st
 	}
 	st := newStore()
+	var next int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i > 0 && i%slab == 0 {
 			b.StopTimer()
 			st = newStore()
+			next = 0
 			b.StartTimer()
 		}
+		for j := range pts {
+			pts[j].T = (next + int64(j)) * 900
+		}
+		next += int64(len(pts))
 		if _, err := st.Append(1, pts); err != nil {
 			b.Fatal(err)
 		}
 	}
 	reportSymbols(b, len(pts))
+}
+
+// --- Compressed-domain query benchmarks ----------------------------------
+
+// BenchQueryFleetSum measures a fleet-wide sum over the full time range
+// through the compressed-domain engine: block summaries only, one goroutine
+// per shard. perOp should be the store's total symbol count.
+func BenchQueryFleetSum(b *testing.B, e *query.Engine, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, count := e.FleetSum(0, 1<<60)
+		if count == 0 || sum == 0 {
+			b.Fatal("empty fleet sum")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchBaselineFleetSum measures the same query decode-then-aggregate:
+// reconstruct every meter's stream, then loop the floats.
+func BenchBaselineFleetSum(b *testing.B, st *server.Store, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, count := BaselineFleetSum(st, 0, 1<<60)
+		if count == 0 || sum == 0 {
+			b.Fatal("empty baseline sum")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchQueryFleetHistogram measures a fleet-wide symbol histogram through
+// the engine (stored per-block histograms, parallel shards).
+func BenchQueryFleetHistogram(b *testing.B, e *query.Engine, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := e.FleetHistogram(0, 1<<60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Total() == 0 {
+			b.Fatal("empty fleet histogram")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchBaselineFleetHistogram is its decode-then-aggregate counterpart.
+func BenchBaselineFleetHistogram(b *testing.B, st *server.Store, k, perOp int) {
+	hist := make([]uint64, k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BaselineFleetHistogram(st, hist, 0, 1<<60)
+		var n uint64
+		for _, c := range hist {
+			n += c
+		}
+		if n == 0 {
+			b.Fatal("empty baseline histogram")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchQueryMeterWindow measures a single-meter aggregate over a range that
+// cuts inside blocks on both ends — the per-byte LUT edge-kernel path plus
+// summaries in between. perOp is the number of points the range covers.
+func BenchQueryMeterWindow(b *testing.B, e *query.Engine, meterID uint64, t0, t1 int64, perOp int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, ok := e.Aggregate(meterID, t0, t1)
+		if !ok || a.Count == 0 {
+			b.Fatal("empty window aggregate")
+		}
+	}
+	reportSymbols(b, perOp)
 }

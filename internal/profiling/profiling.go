@@ -1,0 +1,45 @@
+// Package profiling is the shared pprof plumbing behind the -cpuprofile and
+// -memprofile flags of cmd/serve and cmd/bench, so the two binaries cannot
+// drift in how profiles are opened, flushed and closed.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile into path and returns a stop function that
+// flushes and closes it. With an empty path it is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap garbage-collects and writes a heap profile to path. With an
+// empty path it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

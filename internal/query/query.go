@@ -1,0 +1,450 @@
+// Package query is the compressed-domain query engine over the server's
+// packed block store: Sum, Mean, Count, Min, Max and Histogram over a time
+// range [t0, t1), per meter and fleet-wide, computed without ever
+// reconstructing the float stream.
+//
+// The paper's premise is that smart-meter analytics can run on the symbolic
+// representation directly; this package is that premise as a query path.
+// Three mechanisms make it fast:
+//
+//   - Block summaries: a block fully covered by the range contributes its
+//     precomputed count/sum/histogram/min/max in O(1) — the payload is never
+//     touched.
+//   - LUT kernels: a partially-covered edge block is aggregated by the
+//     word-at-a-time kernels in internal/symbolic (per-byte histogram and
+//     partial-sum tables), so level≤4 symbols fold 16-per-64-bit-word
+//     without unpacking.
+//   - Sharded fan-out: fleet-wide queries run one goroutine per store shard
+//     and merge partial aggregates, taking each shard lock exactly once and
+//     scaling across cores like ingest does.
+//
+// Timestamps inside a block are arithmetic (firstT + i·stride), so range
+// overlap is integer division, not search.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+)
+
+// maxFoldLevel bounds the stack histogram used to fold partial blocks in
+// one payload scan; finer levels fall back to the general aggregate walk.
+const maxFoldLevel = 8
+
+// maxHistogramLevel bounds Histogram results (4096 bins); finer alphabets
+// would return impractically wide histograms.
+const maxHistogramLevel = 12
+
+// Typed query errors, distinguishable with errors.Is.
+var (
+	// ErrMixedLevels reports a histogram over blocks or meters whose lookup
+	// tables disagree on symbol level — the bins would not be comparable.
+	ErrMixedLevels = errors.New("query: histogram over mixed symbol levels")
+	// ErrLevelTooFine reports a histogram at a level above maxHistogramLevel.
+	ErrLevelTooFine = errors.New("query: histogram level too fine")
+)
+
+// Agg is an order-insensitive aggregate over a time range. Min and Max are
+// reconstruction values and only meaningful when Count > 0.
+type Agg struct {
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count, or NaN for an empty range.
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// observe folds one (min,max) value pair into the aggregate.
+func (a *Agg) observe(min, max float64) {
+	if a.Count == 0 || min < a.Min {
+		a.Min = min
+	}
+	if a.Count == 0 || max > a.Max {
+		a.Max = max
+	}
+}
+
+// merge folds another aggregate in.
+func (a *Agg) merge(b Agg) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	a.Sum += b.Sum
+	a.Count += b.Count
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+}
+
+// Histogram is a per-symbol count distribution at a single level.
+type Histogram struct {
+	// Level is the symbol width; Counts has 1<<Level entries.
+	Level int
+	// Counts[s] is the number of stored points whose symbol index is s.
+	Counts []uint64
+}
+
+// Total returns the histogram mass.
+func (h *Histogram) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Engine answers compressed-domain queries against one store.
+type Engine struct {
+	store *server.Store
+}
+
+// New returns an engine over the store.
+func New(store *server.Store) *Engine { return &Engine{store: store} }
+
+// overlap returns the index range [i0, i1) of points in v whose timestamps
+// fall inside [t0, t1). Pure integer arithmetic: point i lives at
+// FirstT + i·Stride.
+func overlap(v server.BlockView, t0, t1 int64) (int, int) {
+	if t0 >= t1 || v.N == 0 || t1 <= v.FirstT || t0 > v.LastT() {
+		return 0, 0
+	}
+	if v.Stride == 0 { // single-point block, FirstT already known in range
+		return 0, 1
+	}
+	i0 := 0
+	if t0 > v.FirstT {
+		i0 = int(ceilDiv(t0-v.FirstT, v.Stride))
+	}
+	i1 := v.N
+	if t1 <= v.LastT() {
+		i1 = int(ceilDiv(t1-v.FirstT, v.Stride)) // first index at or past t1
+	}
+	if i0 >= i1 {
+		return 0, 0
+	}
+	return i0, i1
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and any a.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// foldBlock adds one block's contribution over [t0, t1) to the aggregate:
+// the precomputed summary when the block is fully covered, a single kernel
+// scan of the covered positions otherwise.
+func foldBlock(a *Agg, v server.BlockView, t0, t1 int64) {
+	i0, i1 := overlap(v, t0, t1)
+	if i0 == i1 {
+		return
+	}
+	if i0 == 0 && i1 == v.N {
+		a.observe(v.MinV, v.MaxV)
+		a.Count += uint64(v.N)
+		a.Sum += v.Sum
+		return
+	}
+	sum, minV, maxV := foldEdge(v, i0, i1)
+	a.observe(minV, maxV)
+	a.Count += uint64(i1 - i0)
+	a.Sum += sum
+}
+
+// foldEdge aggregates the partially-covered positions [i0, i1) of one block
+// into (sum, min, max). For histogram-friendly levels it does one kernel
+// scan of the payload and an O(k) fold; finer levels walk the accumulator.
+// Extremes are compared in the value domain — no monotonicity of Values in
+// the symbol index is assumed.
+func foldEdge(v server.BlockView, i0, i1 int) (sum, minV, maxV float64) {
+	if v.Level > maxFoldLevel {
+		return symbolic.PackedRangeAggregate(v.Values, v.Payload, v.Level, i0, i1)
+	}
+	var histBuf [1 << maxFoldLevel]uint64
+	h := histBuf[:1<<uint(v.Level)]
+	symbolic.PackedRangeHistogram(h, v.Payload, v.Level, i0, i1)
+	first := true
+	for sym, c := range h {
+		if c == 0 {
+			continue
+		}
+		val := v.Values[sym]
+		sum += float64(c) * val
+		if first {
+			minV, maxV = val, val
+			first = false
+			continue
+		}
+		if val < minV {
+			minV = val
+		}
+		if val > maxV {
+			maxV = val
+		}
+	}
+	return sum, minV, maxV
+}
+
+// blockSum returns one block's sum and count over [t0, t1), preferring the
+// per-byte partial-sum LUT for edge blocks at the byte-aligned levels.
+func blockSum(v server.BlockView, t0, t1 int64) (float64, uint64) {
+	i0, i1 := overlap(v, t0, t1)
+	if i0 == i1 {
+		return 0, 0
+	}
+	if i0 == 0 && i1 == v.N {
+		return v.Sum, uint64(v.N)
+	}
+	if v.ByteSums != nil {
+		return symbolic.PackedRangeSumLUT(v.ByteSums, v.Values, v.Payload, v.Level, i0, i1), uint64(i1 - i0)
+	}
+	sum, _, _ := foldEdge(v, i0, i1)
+	return sum, uint64(i1 - i0)
+}
+
+// Aggregate computes count, sum, min and max for one meter over [t0, t1) in
+// a single pass. ok reports whether the meter exists.
+func (e *Engine) Aggregate(meterID uint64, t0, t1 int64) (Agg, bool) {
+	var a Agg
+	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+		foldBlock(&a, v, t0, t1)
+	})
+	return a, ok
+}
+
+// Count returns the number of stored points for the meter in [t0, t1).
+// Count never touches a payload: fully-covered blocks contribute their
+// stored count, edge blocks pure index arithmetic.
+func (e *Engine) Count(meterID uint64, t0, t1 int64) (uint64, bool) {
+	var n uint64
+	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+		i0, i1 := overlap(v, t0, t1)
+		n += uint64(i1 - i0)
+	})
+	return n, ok
+}
+
+// Sum returns the sum of reconstruction values for the meter in [t0, t1),
+// using block summaries and the per-byte sum LUT for edges.
+func (e *Engine) Sum(meterID uint64, t0, t1 int64) (float64, bool) {
+	var sum float64
+	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+		s, _ := blockSum(v, t0, t1)
+		sum += s
+	})
+	return sum, ok
+}
+
+// Mean returns the mean reconstruction value in [t0, t1); NaN when the
+// range is empty.
+func (e *Engine) Mean(meterID uint64, t0, t1 int64) (float64, bool) {
+	var sum float64
+	var n uint64
+	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+		s, c := blockSum(v, t0, t1)
+		sum += s
+		n += c
+	})
+	if !ok {
+		return 0, false
+	}
+	if n == 0 {
+		return math.NaN(), true
+	}
+	return sum / float64(n), true
+}
+
+// Min returns the smallest reconstruction value in [t0, t1); ok is false
+// when the meter is unknown or the range holds no points.
+func (e *Engine) Min(meterID uint64, t0, t1 int64) (float64, bool) {
+	a, ok := e.Aggregate(meterID, t0, t1)
+	return a.Min, ok && a.Count > 0
+}
+
+// Max is Min's counterpart.
+func (e *Engine) Max(meterID uint64, t0, t1 int64) (float64, bool) {
+	a, ok := e.Aggregate(meterID, t0, t1)
+	return a.Max, ok && a.Count > 0
+}
+
+// foldHistogram adds one block's covered counts into h, growing or checking
+// h.Level. Fully-covered blocks with a stored histogram are O(k); everything
+// else is one kernel scan.
+func foldHistogram(h *Histogram, v server.BlockView, t0, t1 int64) error {
+	i0, i1 := overlap(v, t0, t1)
+	if i0 == i1 {
+		return nil
+	}
+	if v.Level > maxHistogramLevel {
+		return fmt.Errorf("%w: level %d > %d", ErrLevelTooFine, v.Level, maxHistogramLevel)
+	}
+	if len(h.Counts) == 0 {
+		h.Level = v.Level
+		k := 1 << uint(v.Level)
+		if cap(h.Counts) >= k {
+			h.Counts = h.Counts[:k]
+			clear(h.Counts)
+		} else {
+			h.Counts = make([]uint64, k)
+		}
+	} else if h.Level != v.Level {
+		return fmt.Errorf("%w: %d vs %d", ErrMixedLevels, h.Level, v.Level)
+	}
+	if i0 == 0 && i1 == v.N && v.Hist != nil {
+		for s, c := range v.Hist {
+			h.Counts[s] += uint64(c)
+		}
+		return nil
+	}
+	symbolic.PackedRangeHistogram(h.Counts, v.Payload, v.Level, i0, i1)
+	return nil
+}
+
+// HistogramInto computes the per-symbol distribution for one meter over
+// [t0, t1) into h, reusing h.Counts' capacity — the zero-allocation form of
+// Histogram for callers that poll. ok reports whether the meter exists; a
+// range that covers no points leaves h.Counts empty.
+func (e *Engine) HistogramInto(h *Histogram, meterID uint64, t0, t1 int64) (bool, error) {
+	h.Level = 0
+	h.Counts = h.Counts[:0]
+	var ferr error
+	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+		if ferr != nil {
+			return
+		}
+		ferr = foldHistogram(h, v, t0, t1)
+	})
+	return ok, ferr
+}
+
+// Histogram computes the per-symbol distribution for one meter over [t0, t1).
+func (e *Engine) Histogram(meterID uint64, t0, t1 int64) (Histogram, bool, error) {
+	var h Histogram
+	ok, err := e.HistogramInto(&h, meterID, t0, t1)
+	if err != nil {
+		return Histogram{}, ok, err
+	}
+	return h, ok, nil
+}
+
+// FleetAggregate computes count/sum/min/max across every meter in [t0, t1),
+// fanning one goroutine out per store shard and merging the partials.
+func (e *Engine) FleetAggregate(t0, t1 int64) Agg {
+	n := e.store.NumShards()
+	partials := make([]Agg, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Accumulate locally and store once: adjacent partials[i] share
+			// cache lines across shard goroutines.
+			var a Agg
+			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
+				foldBlock(&a, v, t0, t1)
+			})
+			partials[i] = a
+		}(i)
+	}
+	wg.Wait()
+	var out Agg
+	for i := range partials {
+		out.merge(partials[i])
+	}
+	return out
+}
+
+// FleetSum returns the fleet-wide sum over [t0, t1), per-shard parallel,
+// using the sum-only fast path (summaries + byte-sum LUT edges).
+func (e *Engine) FleetSum(t0, t1 int64) (float64, uint64) {
+	n := e.store.NumShards()
+	sums := make([]float64, n)
+	counts := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sum float64
+			var count uint64
+			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
+				s, c := blockSum(v, t0, t1)
+				sum += s
+				count += c
+			})
+			sums[i], counts[i] = sum, count
+		}(i)
+	}
+	wg.Wait()
+	var sum float64
+	var count uint64
+	for i := 0; i < n; i++ {
+		sum += sums[i]
+		count += counts[i]
+	}
+	return sum, count
+}
+
+// FleetHistogram computes the fleet-wide per-symbol distribution over
+// [t0, t1), per-shard parallel. All covered blocks must share one level.
+func (e *Engine) FleetHistogram(t0, t1 int64) (Histogram, error) {
+	n := e.store.NumShards()
+	partials := make([]Histogram, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
+				if errs[i] != nil {
+					return
+				}
+				errs[i] = foldHistogram(&partials[i], v, t0, t1)
+			})
+		}(i)
+	}
+	wg.Wait()
+	var out Histogram
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return Histogram{}, errs[i]
+		}
+		p := &partials[i]
+		if len(p.Counts) == 0 {
+			continue
+		}
+		if out.Counts == nil {
+			out.Level = p.Level
+			out.Counts = make([]uint64, len(p.Counts))
+		} else if out.Level != p.Level {
+			return Histogram{}, fmt.Errorf("%w: %d vs %d", ErrMixedLevels, out.Level, p.Level)
+		}
+		for s, c := range p.Counts {
+			out.Counts[s] += c
+		}
+	}
+	return out, nil
+}

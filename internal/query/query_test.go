@@ -1,0 +1,399 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+)
+
+// randTable builds a deterministic random table at the given level with
+// default (bin-center) representatives, which are monotone in the symbol
+// index — the property Min/Max-from-symbol-summaries relies on.
+func randTable(t testing.TB, rng *rand.Rand, level int) *symbolic.Table {
+	t.Helper()
+	k := 1 << uint(level)
+	seps := make([]float64, k-1)
+	for i := range seps {
+		seps[i] = rng.Float64() * 1000
+	}
+	sort.Float64s(seps)
+	table, err := symbolic.NewTable(k, seps, -50, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
+// seedMeter streams n points into the store for one meter: window-strided
+// timestamps with occasional gaps, random symbols, optional table re-pushes
+// (epoch changes) mid-stream. Returns the last timestamp used.
+func seedMeter(t testing.TB, st *server.Store, rng *rand.Rand, meterID uint64, table *symbolic.Table, n int, gapPct, epochEvery int) int64 {
+	t.Helper()
+	if err := st.StartSession(meterID); err != nil {
+		t.Fatal(err)
+	}
+	defer st.EndSession(meterID)
+	if err := st.PushTable(meterID, table); err != nil {
+		t.Fatal(err)
+	}
+	level := table.Level()
+	k := table.K()
+	const window = 900
+	var ts int64
+	sent := 0
+	for sent < n {
+		batch := 1 + rng.Intn(96)
+		if batch > n-sent {
+			batch = n - sent
+		}
+		pts := make([]symbolic.SymbolPoint, batch)
+		for i := range pts {
+			pts[i] = symbolic.SymbolPoint{T: ts, S: symbolic.NewSymbol(rng.Intn(k), level)}
+			ts += window
+			if gapPct > 0 && rng.Intn(100) < gapPct {
+				ts += window * int64(1+rng.Intn(3)) // missing windows
+			}
+		}
+		if _, err := st.Append(meterID, pts); err != nil {
+			t.Fatal(err)
+		}
+		sent += batch
+		if epochEvery > 0 && sent < n && sent%epochEvery < batch {
+			// Re-learned table mid-stream: same level, new separators.
+			if err := st.PushTable(meterID, randTable(t, rng, level)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ts
+}
+
+// oracleAgg is the naive decode-then-aggregate reference: reconstruct the
+// full stream via Snapshot, filter by time, aggregate point by point.
+type oracleAgg struct {
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+	hist  []uint64
+}
+
+func oracle(st server.MeterState, t0, t1 int64, k int) oracleAgg {
+	o := oracleAgg{hist: make([]uint64, k)}
+	for _, p := range st.Points {
+		if p.T < t0 || p.T >= t1 {
+			continue
+		}
+		if o.count == 0 || p.V < o.min {
+			o.min = p.V
+		}
+		if o.count == 0 || p.V > o.max {
+			o.max = p.V
+		}
+		o.count++
+		o.sum += p.V
+		o.hist[p.S.Index()]++
+	}
+	return o
+}
+
+func checkAgainstOracle(t *testing.T, e *Engine, st *server.Store, meterID uint64, k int, t0, t1 int64) {
+	t.Helper()
+	snap, ok := st.Snapshot(meterID)
+	if !ok {
+		t.Fatal("meter vanished")
+	}
+	o := oracle(snap, t0, t1, k)
+
+	a, ok := e.Aggregate(meterID, t0, t1)
+	if !ok {
+		t.Fatal("Aggregate: meter unknown")
+	}
+	if a.Count != o.count {
+		t.Fatalf("[%d,%d) Count = %d, oracle %d", t0, t1, a.Count, o.count)
+	}
+	if relDiff(a.Sum, o.sum) > 1e-9 {
+		t.Fatalf("[%d,%d) Sum = %v, oracle %v", t0, t1, a.Sum, o.sum)
+	}
+	if o.count > 0 && (a.Min != o.min || a.Max != o.max) {
+		t.Fatalf("[%d,%d) Min/Max = %v/%v, oracle %v/%v", t0, t1, a.Min, a.Max, o.min, o.max)
+	}
+	if n, _ := e.Count(meterID, t0, t1); n != o.count {
+		t.Fatalf("[%d,%d) Count query = %d, oracle %d", t0, t1, n, o.count)
+	}
+	if s, _ := e.Sum(meterID, t0, t1); relDiff(s, o.sum) > 1e-9 {
+		t.Fatalf("[%d,%d) Sum query = %v, oracle %v", t0, t1, s, o.sum)
+	}
+	m, _ := e.Mean(meterID, t0, t1)
+	if o.count == 0 {
+		if !math.IsNaN(m) {
+			t.Fatalf("[%d,%d) Mean of empty range = %v, want NaN", t0, t1, m)
+		}
+	} else if relDiff(m, o.sum/float64(o.count)) > 1e-9 {
+		t.Fatalf("[%d,%d) Mean = %v, oracle %v", t0, t1, m, o.sum/float64(o.count))
+	}
+	if k <= 1<<maxHistogramLevel {
+		h, _, err := e.Histogram(meterID, t0, t1)
+		if err != nil {
+			t.Fatalf("[%d,%d) Histogram: %v", t0, t1, err)
+		}
+		if o.count == 0 {
+			if len(h.Counts) != 0 {
+				t.Fatalf("[%d,%d) empty-range histogram has %d bins", t0, t1, len(h.Counts))
+			}
+		} else {
+			for s := range o.hist {
+				if h.Counts[s] != o.hist[s] {
+					t.Fatalf("[%d,%d) hist[%d] = %d, oracle %d", t0, t1, s, h.Counts[s], o.hist[s])
+				}
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Abs(b))
+}
+
+// TestQueryMatchesOracle sweeps levels and range shapes deterministically:
+// empty ranges, single-point ranges, block-boundary straddles, full cover.
+func TestQueryMatchesOracle(t *testing.T) {
+	for _, level := range []int{1, 2, 3, 4, 8, 10} {
+		rng := rand.New(rand.NewSource(int64(100 + level)))
+		st := server.NewStore(4)
+		table := randTable(t, rng, level)
+		last := seedMeter(t, st, rng, 9, table, 1500, 10, 400)
+		e := New(st)
+		const w = 900
+		ranges := [][2]int64{
+			{0, last + w},           // everything
+			{0, 0},                  // empty
+			{500, 100},              // inverted
+			{0, w},                  // first point only
+			{last - w, last + w},    // tail
+			{512 * w, 513 * w},      // around the first block boundary
+			{300 * w, 700 * w},      // straddles a block
+			{-5000, 50},             // before the stream
+			{last + w, last + 9000}, // after the stream
+		}
+		for i := 0; i < 25; i++ {
+			a := rng.Int63n(last + 2*w)
+			b := rng.Int63n(last + 2*w)
+			ranges = append(ranges, [2]int64{a, b})
+		}
+		for _, r := range ranges {
+			checkAgainstOracle(t, e, st, 9, table.K(), r[0], r[1])
+		}
+	}
+}
+
+// TestFleetMatchesPerMeter pins the sharded fan-out: fleet aggregates must
+// equal the merge of every meter's individual aggregate.
+func TestFleetMatchesPerMeter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	st := server.NewStore(8)
+	const meters = 37 // not a multiple of the shard count
+	var tables []*symbolic.Table
+	for m := 1; m <= meters; m++ {
+		table := randTable(t, rng, 4)
+		tables = append(tables, table)
+		seedMeter(t, st, rng, uint64(m), table, 300+rng.Intn(600), 5, 0)
+	}
+	e := New(st)
+	t0, t1 := int64(100*900), int64(600*900)
+
+	var want Agg
+	var wantHist []uint64
+	for m := 1; m <= meters; m++ {
+		a, ok := e.Aggregate(uint64(m), t0, t1)
+		if !ok {
+			t.Fatalf("meter %d unknown", m)
+		}
+		want.merge(a)
+		h, _, err := e.Histogram(uint64(m), t0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantHist == nil {
+			wantHist = make([]uint64, 16)
+		}
+		for s, c := range h.Counts {
+			wantHist[s] += c
+		}
+	}
+
+	got := e.FleetAggregate(t0, t1)
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("fleet = %+v, merged per-meter = %+v", got, want)
+	}
+	if relDiff(got.Sum, want.Sum) > 1e-9 {
+		t.Fatalf("fleet sum = %v, merged %v", got.Sum, want.Sum)
+	}
+	sum, count := e.FleetSum(t0, t1)
+	if count != want.Count || relDiff(sum, want.Sum) > 1e-9 {
+		t.Fatalf("FleetSum = %v/%d, want %v/%d", sum, count, want.Sum, want.Count)
+	}
+	fh, err := e.FleetHistogram(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range wantHist {
+		if fh.Counts[s] != wantHist[s] {
+			t.Fatalf("fleet hist[%d] = %d, want %d", s, fh.Counts[s], wantHist[s])
+		}
+	}
+}
+
+func TestUnknownMeter(t *testing.T) {
+	e := New(server.NewStore(2))
+	if _, ok := e.Aggregate(404, 0, 1000); ok {
+		t.Fatal("Aggregate of unknown meter reported ok")
+	}
+	if _, ok := e.Sum(404, 0, 1000); ok {
+		t.Fatal("Sum of unknown meter reported ok")
+	}
+	if _, ok := e.Min(404, 0, 1000); ok {
+		t.Fatal("Min of unknown meter reported ok")
+	}
+}
+
+// TestMixedLevelHistogram: meters with different alphabet sizes cannot be
+// merged into one fleet histogram.
+func TestMixedLevelHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := server.NewStore(2)
+	seedMeter(t, st, rng, 1, randTable(t, rng, 4), 100, 0, 0)
+	seedMeter(t, st, rng, 2, randTable(t, rng, 3), 100, 0, 0)
+	e := New(st)
+	if _, err := e.FleetHistogram(0, 1<<40); !errors.Is(err, ErrMixedLevels) {
+		t.Fatalf("FleetHistogram error = %v, want ErrMixedLevels", err)
+	}
+	// The non-histogram aggregates still work across mixed levels.
+	a := e.FleetAggregate(0, 1<<40)
+	if a.Count != 200 {
+		t.Fatalf("fleet count = %d, want 200", a.Count)
+	}
+}
+
+// TestNonMonotoneRepresentatives pins Min/Max correctness for tables whose
+// symbol→value mapping is NOT monotone in the symbol index (a wire table's
+// representatives are arbitrary: UnmarshalTable does not, and cannot,
+// enforce bin ordering). Extremes are tracked in the value domain at ingest
+// and compared in the value domain at query time, so these must still
+// match the oracle exactly — randTable can never generate this shape, which
+// is why it gets a dedicated test instead of relying on the fuzzer.
+func TestNonMonotoneRepresentatives(t *testing.T) {
+	table, err := symbolic.NewTable(4, []float64{10, 20, 30}, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol 0 reconstructs to the largest value, symbol 3 to the smallest.
+	if err := table.SetRepresentatives([]float64{100, 7, 55, 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := server.NewStore(2)
+	if err := st.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	// Enough points to seal a block plus a partial tail, cycling all symbols.
+	n := server.BlockCap + 37
+	pts := make([]symbolic.SymbolPoint, n)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: int64(i) * 900, S: symbolic.NewSymbol(i%4, 2)}
+	}
+	if _, err := st.Append(1, pts); err != nil {
+		t.Fatal(err)
+	}
+	e := New(st)
+	// Full cover (summary path), and a range cutting inside both blocks
+	// (kernel path).
+	for _, r := range [][2]int64{{0, int64(n) * 900}, {3 * 900, int64(n-3)*900 - 450}} {
+		checkAgainstOracle(t, e, st, 1, 4, r[0], r[1])
+	}
+	a, _ := e.Aggregate(1, 0, int64(n)*900)
+	if a.Min != 1 || a.Max != 100 {
+		t.Fatalf("non-monotone table: Min/Max = %v/%v, want 1/100", a.Min, a.Max)
+	}
+}
+
+// TestExtremeTimestampQueries pins the engine against int64-edge streams:
+// adversarial timestamps that once provoked span overflow (negative offsets
+// wrapping into payload indices) must neither panic nor diverge from the
+// oracle, for query ranges probing both ends of the int64 line.
+func TestExtremeTimestampQueries(t *testing.T) {
+	const maxInt64 = 1<<63 - 1
+	const minInt64 = -1 << 63
+	rng := rand.New(rand.NewSource(5))
+	st := server.NewStore(2)
+	table := randTable(t, rng, 4)
+	if err := st.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	ts := []int64{minInt64 + 1, -(maxInt64 / 510), 0, maxInt64 / 510 * 2, maxInt64 - 900, maxInt64}
+	for _, tt := range ts {
+		pts := []symbolic.SymbolPoint{{T: tt, S: symbolic.NewSymbol(rng.Intn(16), 4)}}
+		if _, err := st.Append(1, pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(st)
+	for _, r := range [][2]int64{
+		{minInt64, maxInt64},
+		{maxInt64 - 1000, maxInt64},
+		{minInt64, minInt64 + 10},
+		{-1, 1},
+		{maxInt64 / 510, maxInt64 / 510 * 3},
+	} {
+		checkAgainstOracle(t, e, st, 1, 16, r[0], r[1])
+	}
+}
+
+// TestQueryZeroAlloc pins the satellite contract: block-summary queries and
+// LUT edge-kernel queries allocate nothing in steady state.
+func TestQueryZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st := server.NewStore(1)
+	table := randTable(t, rng, 4) // level 4: ByteSums LUT path
+	last := seedMeter(t, st, rng, 1, table, 3000, 0, 0)
+	e := New(st)
+	full := func() { // summary-only: covers every block exactly
+		if a, ok := e.Aggregate(1, 0, last+900); !ok || a.Count == 0 {
+			t.Fatal("bad aggregate")
+		}
+	}
+	partial := func() { // cuts inside blocks on both ends: LUT kernels
+		if s, ok := e.Sum(1, 100*900, 2500*900+450); !ok || s == 0 {
+			t.Fatal("bad sum")
+		}
+		if a, ok := e.Aggregate(1, 100*900, 2500*900+450); !ok || a.Count == 0 {
+			t.Fatal("bad aggregate")
+		}
+	}
+	var h Histogram
+	hist := func() {
+		if _, err := e.HistogramInto(&h, 1, 100*900, 2500*900+450); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist() // warm the reused counts buffer
+	if a := testing.AllocsPerRun(100, full); a != 0 {
+		t.Fatalf("summary query allocates %.1f times per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, partial); a != 0 {
+		t.Fatalf("LUT edge query allocates %.1f times per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, hist); a != 0 {
+		t.Fatalf("HistogramInto allocates %.1f times per run, want 0", a)
+	}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"symmeter/internal/symbolic"
+)
+
+// The block store keeps every meter's stream packed at rest: a chain of
+// fixed-capacity blocks, each holding up to BlockCap symbols in the codec's
+// headerless bit layout plus a small summary (count, per-symbol histogram,
+// min/max/sum of reconstruction values under the block's table epoch). Timestamps are not stored per point — a block records its first
+// timestamp and the stride between points, and seals itself whenever an
+// arriving point breaks the arithmetic progression (a gap in the stream) or
+// the meter's lookup table changes (a new epoch). At the paper's headline
+// k=16 this is ~0.5 payload bytes per point instead of the 24-byte
+// ReconPoint the store used to materialize, and the summaries let the query
+// engine answer aggregates over fully-covered blocks in O(1) without
+// touching the payload at all.
+
+const (
+	// BlockCap is the symbol capacity of one packed block.
+	BlockCap = 512
+	// maxHistLevel bounds the per-block histogram: blocks at level ≤ 8
+	// (k ≤ 256) carry one. At levels 7–8 the lanes cost more than the
+	// payload they summarize (1 KiB vs 512 B at k=256) — a deliberate
+	// memory-for-query-speed trade that keeps full-block Histogram O(k);
+	// past k=256 the trade stops paying, so finer alphabets keep only
+	// count/sum/min/max and answer histogram queries by kernel scan.
+	maxHistLevel = 8
+)
+
+// blockBytes is the payload size of a full block at the given level.
+func blockBytes(level int) int { return (BlockCap*level + 7) / 8 }
+
+// block is one packed segment of a meter's stream. Blocks are append-only:
+// once a successor block exists, a block is sealed and never mutated again,
+// which is what lets snapshots and queries read sealed blocks outside the
+// shard lock.
+type block struct {
+	epoch  uint32 // index into the meter's table history
+	level  uint8  // symbol bits (copied from the epoch's table)
+	n      uint32 // symbols stored
+	firstT int64  // timestamp of the first symbol
+	stride int64  // timestamp step; 0 until the block holds two points
+	sum    float64
+	// minV and maxV are reconstruction-value extremes, tracked in the value
+	// domain at ingest so queries need no assumption about how the table
+	// maps symbol indices to values.
+	minV    float64
+	maxV    float64
+	payload []byte   // headerless packed symbols, blockBytes(level) long
+	hist    []uint32 // per-symbol counts when level ≤ maxHistLevel, else nil
+	// payloadFromArena / histFromArena record that the slice was carved from
+	// the meter's reserve arena: the slab outlives the block, so seal-time
+	// trimming would free nothing (the arena is accounted whole instead).
+	payloadFromArena bool
+	histFromArena    bool
+}
+
+// lastT returns the timestamp of the block's last point (n must be ≥ 1).
+func (b *block) lastT() int64 { return b.firstT + int64(b.n-1)*b.stride }
+
+// strideFor returns the stride a second point at time t would fix for a
+// block starting at firstT, rejecting anything whose arithmetic progression
+// could overflow int64 within BlockCap points. Timestamps are
+// client-controlled wire input: without this guard an adversarial stride
+// wraps lastT negative and queries diverge from Snapshot or panic on
+// wrapped offsets. Rejected points simply open their own block.
+//
+// Both the block's span ((BlockCap-1)·stride) and its end (firstT + span)
+// must fit in int64 — queries subtract firstT from in-range timestamps, so
+// every offset up to the span must be representable. Negative timestamps
+// (pre-epoch streams) are ordinary input and pass these checks unharmed.
+func strideFor(firstT, t int64) (int64, bool) {
+	if t <= firstT {
+		return 0, false
+	}
+	if firstT < 0 && t > maxInt64+firstT { // t-firstT would overflow
+		return 0, false
+	}
+	stride := t - firstT
+	if stride > maxInt64/int64(BlockCap-1) { // span would overflow
+		return 0, false
+	}
+	if span := stride * int64(BlockCap-1); firstT > maxInt64-span { // lastT would overflow
+		return 0, false
+	}
+	return stride, true
+}
+
+const maxInt64 = 1<<63 - 1
+
+// accepts reports whether a point at time t under the given epoch can extend
+// the block's arithmetic timestamp progression.
+func (b *block) accepts(t int64, epoch uint32) bool {
+	if b.epoch != epoch || b.n >= BlockCap {
+		return false
+	}
+	switch b.n {
+	case 0:
+		return true
+	case 1:
+		// The second point fixes the stride; it must move forward and keep
+		// the whole block's progression inside int64.
+		_, ok := strideFor(b.firstT, t)
+		return ok
+	default:
+		return t == b.firstT+int64(b.n)*b.stride
+	}
+}
+
+// seal trims a block that is about to get a successor down to what it
+// actually holds: the payload is copy-shrunk to its used bytes and a
+// histogram wider than the block's point count is dropped (queries kernel-
+// scan such blocks anyway). Timestamps are client-controlled wire input, so
+// a stream that keeps breaking the stride seals near-empty blocks — without
+// trimming, each would pin a full BlockCap payload plus k histogram lanes,
+// a memory-amplification vector. Arena-carved slices are left alone: their
+// slab outlives the block either way, so trimming would only add an
+// allocation (the arena's size is bounded by Reserve and accounted whole).
+// Full blocks (the regular-stream case) are untouched, keeping the
+// zero-alloc Append contract. Per-block metadata (~100 bytes) still bounds
+// the degenerate worst case; policing meters that produce pathological
+// block counts is a separate concern.
+func (b *block) seal() {
+	if !b.payloadFromArena {
+		if used := (int(b.n)*int(b.level) + 7) / 8; used < len(b.payload) {
+			b.payload = append(make([]byte, 0, used), b.payload[:used]...)
+		}
+	}
+	if !b.histFromArena && b.hist != nil && int(b.n) < len(b.hist) {
+		b.hist = nil
+	}
+}
+
+// push appends one point. The caller must have checked accepts.
+func (b *block) push(t int64, idx uint32, v float64) {
+	switch b.n {
+	case 0:
+		b.firstT = t
+		b.minV = v
+		b.maxV = v
+	case 1:
+		b.stride = t - b.firstT
+	}
+	symbolic.PackSymbolAt(b.payload, int(b.level), int(b.n), idx)
+	if b.hist != nil {
+		b.hist[idx]++
+	}
+	b.sum += v
+	if v < b.minV {
+		b.minV = v
+	}
+	if v > b.maxV {
+		b.maxV = v
+	}
+	b.n++
+}
+
+// BlockView is a read-only view of one packed block plus its epoch table's
+// lookup data, handed to query visitors under the shard read lock. Visitors
+// must not retain any of its slices past their return: Payload and Hist of
+// the chain's tail block keep growing after the lock is released.
+type BlockView struct {
+	// FirstT and Stride define the block's timestamps: point i lives at
+	// FirstT + i·Stride. Stride is 0 while the block holds a single point.
+	FirstT int64
+	Stride int64
+	// N is the number of symbols in the block.
+	N int
+	// Level is the symbol width in bits; the alphabet has 1<<Level symbols.
+	Level int
+	// Epoch is the index of the block's table in the meter's table history.
+	Epoch int
+	// Payload is the headerless packed symbol data (N·Level bits used).
+	Payload []byte
+	// Hist is the per-symbol count summary, nil when Level > 8.
+	Hist []uint32
+	// Sum is the sum of reconstruction values over the whole block.
+	Sum float64
+	// MinV and MaxV are the smallest and largest reconstruction value in
+	// the block, tracked in the value domain at ingest — no assumption
+	// about the symbol→value mapping is needed to use them.
+	MinV, MaxV float64
+	// Values maps symbol index to reconstruction value under the epoch's
+	// table.
+	Values []float64
+	// ByteSums is the epoch table's per-payload-byte partial-sum LUT, nil
+	// unless Level is 1, 2 or 4.
+	ByteSums []float64
+}
+
+// LastT returns the timestamp of the view's last point.
+func (v BlockView) LastT() int64 { return v.FirstT + int64(v.N-1)*v.Stride }
+
+// view builds the visitor view for a block under its meter's tables.
+func (e *meterEntry) view(b *block) BlockView {
+	table := e.tables[b.epoch]
+	return BlockView{
+		FirstT:   b.firstT,
+		Stride:   b.stride,
+		N:        int(b.n),
+		Level:    int(b.level),
+		Epoch:    int(b.epoch),
+		Payload:  b.payload,
+		Hist:     b.hist,
+		Sum:      b.sum,
+		MinV:     b.minV,
+		MaxV:     b.maxV,
+		Values:   table.ReconstructionValues(),
+		ByteSums: table.ByteSums(),
+	}
+}

@@ -12,10 +12,11 @@ import (
 type Config struct {
 	// Shards is the store's lock-domain count; 0 picks a default of 16.
 	Shards int
-	// ReservePoints, when positive, pre-allocates that many reconstructed
-	// points per meter at handshake time, so a session whose expected volume
-	// is known up front (e.g. replaying N days of fixed-window data) ingests
-	// every batch without growing its points slice.
+	// ReservePoints, when positive, reserves packed-block capacity for that
+	// many points per meter at handshake time (parked until the meter's
+	// first table arrives, since the arenas are sized by its symbol level),
+	// so a session whose expected volume is known up front (e.g. replaying
+	// N days of fixed-window data) ingests every batch allocation-free.
 	ReservePoints int
 }
 

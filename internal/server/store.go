@@ -2,14 +2,15 @@
 // deployment story at fleet scale: many smart meters connect over TCP, each
 // handshakes with its meter ID, ships its locally-learned lookup table, and
 // streams packed symbols; the server runs one session goroutine per meter
-// and writes reconstructed state into a sharded in-memory store so ingest
-// scales across cores.
+// and keeps the symbols packed at rest in a sharded block store, so both
+// ingest and compressed-domain queries scale across cores.
 //
 // Layering: internal/transport owns the wire format (frames, handshake,
 // Decoder); this package owns connection lifecycle (Service), per-meter
-// decoding state (session) and the shared mutable state (Store). A Fleet
-// driver simulates M meters streaming concurrently over real TCP for load
-// generation and benchmarks.
+// decoding state (session) and the shared mutable state (Store — packed
+// block chains, see block.go). internal/query answers aggregates on top of
+// the Store's visitor API. A Fleet driver simulates M meters streaming
+// concurrently over real TCP for load generation and benchmarks.
 package server
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"unsafe"
 
 	"symmeter/internal/symbolic"
 )
@@ -42,7 +44,8 @@ type ReconPoint struct {
 	V float64
 }
 
-// MeterState is the aggregate view of one meter.
+// MeterState is the aggregate view of one meter, materialized on demand by
+// Snapshot — the store itself never holds reconstructed points.
 type MeterState struct {
 	ID uint64
 	// Tables holds every lookup table received, in order; the last is
@@ -55,10 +58,89 @@ type MeterState struct {
 	Sessions int
 }
 
-// meterEntry guards one meter's state inside a shard.
+// meterEntry guards one meter's state inside a shard. Symbols live in a
+// chain of packed blocks; only the last block (the tail) is ever mutated,
+// so readers that copied the chain header under the lock may read every
+// sealed block after releasing it.
 type meterEntry struct {
-	state  MeterState
-	active bool
+	id       uint64
+	tables   []*symbolic.Table
+	sessions int
+	active   bool
+
+	blocks []block
+	total  int // symbols across all blocks
+
+	// Arena capacity carved into new blocks so a Reserve'd meter appends
+	// without allocating. pendingReserve parks a Reserve that arrived before
+	// the first table (the arena is sized by the table's level). arenaBytes
+	// accumulates every arena allocation at full size — carved regions stay
+	// resident for the arena's lifetime whether or not their block was
+	// trimmed, so MemoryFootprint counts slabs whole, never remainders.
+	payloadArena   []byte
+	histArena      []uint32
+	arenaBytes     int64
+	pendingReserve int
+}
+
+// tail returns the mutable last block, or nil when the chain is empty.
+func (e *meterEntry) tail() *block {
+	if len(e.blocks) == 0 {
+		return nil
+	}
+	return &e.blocks[len(e.blocks)-1]
+}
+
+// newBlock appends a fresh block for the given epoch, carving payload and
+// histogram space from the reserve arena when available.
+func (e *meterEntry) newBlock(epoch uint32, level, k int) *block {
+	nb := blockBytes(level)
+	var payload []byte
+	payloadFromArena := len(e.payloadArena) >= nb
+	if payloadFromArena {
+		payload = e.payloadArena[:nb:nb]
+		e.payloadArena = e.payloadArena[nb:]
+	} else {
+		payload = make([]byte, nb)
+	}
+	var hist []uint32
+	histFromArena := false
+	if level <= maxHistLevel {
+		if histFromArena = len(e.histArena) >= k; histFromArena {
+			hist = e.histArena[:k:k]
+			e.histArena = e.histArena[k:]
+		} else {
+			hist = make([]uint32, k)
+		}
+	}
+	e.blocks = append(e.blocks, block{
+		epoch:            epoch,
+		level:            uint8(level),
+		payload:          payload,
+		hist:             hist,
+		payloadFromArena: payloadFromArena,
+		histFromArena:    histFromArena,
+	})
+	return &e.blocks[len(e.blocks)-1]
+}
+
+// reserveLocked sizes the arenas and block slice for n more points under the
+// meter's current table.
+func (e *meterEntry) reserveLocked(n int) {
+	table := e.tables[len(e.tables)-1]
+	level, k := table.Level(), table.K()
+	nb := (n+BlockCap-1)/BlockCap + 1
+	if need := nb * blockBytes(level); len(e.payloadArena) < need {
+		e.payloadArena = make([]byte, need)
+		e.arenaBytes += int64(need)
+	}
+	if level <= maxHistLevel {
+		if need := nb * k; len(e.histArena) < need {
+			e.histArena = make([]uint32, need)
+			e.arenaBytes += 4 * int64(need)
+		}
+	}
+	e.blocks = slices.Grow(e.blocks, nb)
 }
 
 // shard is one lock domain of the store.
@@ -123,14 +205,14 @@ func (s *Store) StartSession(meterID uint64) error {
 	defer sh.mu.Unlock()
 	e := sh.meters[meterID]
 	if e == nil {
-		e = &meterEntry{state: MeterState{ID: meterID}}
+		e = &meterEntry{id: meterID}
 		sh.meters[meterID] = e
 	}
 	if e.active {
 		return fmt.Errorf("%w: %d", ErrDuplicateMeter, meterID)
 	}
 	e.active = true
-	e.state.Sessions++
+	e.sessions++
 	return nil
 }
 
@@ -146,7 +228,8 @@ func (s *Store) EndSession(meterID uint64) {
 	}
 }
 
-// PushTable records a new lookup table for the meter.
+// PushTable records a new lookup table for the meter, opening a new epoch:
+// the current tail block is left to seal itself on the next append.
 func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
@@ -155,7 +238,11 @@ func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 	if e == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
-	e.state.Tables = append(e.state.Tables, t)
+	e.tables = append(e.tables, t)
+	if e.pendingReserve > 0 {
+		e.reserveLocked(e.pendingReserve)
+		e.pendingReserve = 0
+	}
 	return nil
 }
 
@@ -163,13 +250,14 @@ func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 // current lookup table, making it undecodable.
 var ErrBadSymbol = errors.New("server: symbol level does not match table")
 
-// Append reconstructs a decoded symbol batch against the meter's current
-// table and appends it. It returns how many points were stored.
+// Append commits a decoded symbol batch into the meter's packed block chain
+// under its current table epoch. It returns how many points were stored.
 //
 // The whole batch is validated against the table before any point is
-// committed, so an error never leaves a partially-appended batch, and the
-// commit loop resolves symbol→value by direct index into the table's cached
-// reconstruction values — no bounds math, NaN test or error path per point.
+// committed, so an error never leaves a partially-appended batch. Each point
+// costs one bit-pack into the tail block plus O(1) summary updates; a point
+// that breaks the tail's timestamp stride (a gap) or arrives under a new
+// epoch seals the tail and opens a fresh block.
 func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
@@ -178,10 +266,11 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 	if e == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
-	if len(e.state.Tables) == 0 {
+	if len(e.tables) == 0 {
 		return 0, fmt.Errorf("%w: %d", ErrNoTable, meterID)
 	}
-	table := e.state.Tables[len(e.state.Tables)-1]
+	epoch := uint32(len(e.tables) - 1)
+	table := e.tables[epoch]
 	level := table.Level()
 	for i := range pts {
 		if pts[i].S.Level() != level {
@@ -190,20 +279,28 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 		}
 	}
 	values := table.ReconstructionValues()
-	// One growth per batch instead of per-point append doubling; with
-	// Reserve'd capacity steady-state ingest allocates nothing.
-	points := slices.Grow(e.state.Points, len(pts))
+	k := table.K()
+	tail := e.tail()
 	for _, sp := range pts {
-		points = append(points, ReconPoint{T: sp.T, S: sp.S, V: values[sp.S.Index()]})
+		if tail == nil || !tail.accepts(sp.T, epoch) {
+			if tail != nil {
+				tail.seal()
+			}
+			tail = e.newBlock(epoch, level, k)
+		}
+		idx := uint32(sp.S.Index())
+		tail.push(sp.T, idx, values[idx])
 	}
-	e.state.Points = points
+	e.total += len(pts)
 	return len(pts), nil
 }
 
-// Reserve pre-allocates capacity for at least n reconstructed points for the
-// meter — capacity planning for ingest bursts: a session that knows how many
-// windows a replayed day will produce can make every subsequent Append
-// allocation-free.
+// Reserve pre-allocates block capacity for at least n points for the meter —
+// capacity planning for ingest bursts: a session that knows how many windows
+// a replayed day will produce makes every subsequent Append allocation-free.
+// A Reserve arriving before the meter's first table (the session handshake
+// order) is parked and applied when the table lands, since the arena is
+// sized by the table's symbol level.
 func (s *Store) Reserve(meterID uint64, n int) error {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
@@ -212,26 +309,110 @@ func (s *Store) Reserve(meterID uint64, n int) error {
 	if e == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
-	if n > cap(e.state.Points) {
-		e.state.Points = slices.Grow(e.state.Points, n-len(e.state.Points))
+	if len(e.tables) == 0 {
+		if n > e.pendingReserve {
+			e.pendingReserve = n
+		}
+		return nil
 	}
+	e.reserveLocked(n)
 	return nil
 }
 
-// Snapshot returns a copy of one meter's state (slices copied so callers
-// can read without holding the shard lock).
+// Snapshot returns a copy of one meter's state with the point stream
+// reconstructed from its packed blocks. Only the chain header, the table
+// list and the mutable tail block are copied under the shard lock; the
+// actual reconstruction — the expensive part — runs after the lock is
+// released, reading the sealed (immutable) blocks directly. A slow reader
+// therefore no longer stalls ingest on the shard.
 func (s *Store) Snapshot(meterID uint64) (MeterState, bool) {
+	sh := s.shardOf(meterID)
+	sh.mu.RLock()
+	e := sh.meters[meterID]
+	if e == nil {
+		sh.mu.RUnlock()
+		return MeterState{}, false
+	}
+	st := MeterState{ID: e.id, Sessions: e.sessions}
+	st.Tables = append([]*symbolic.Table(nil), e.tables...)
+	blocks := e.blocks
+	total := e.total
+	var tailCopy block
+	if len(blocks) > 0 {
+		// The tail keeps growing after we unlock; freeze its summary and the
+		// payload bytes written so far.
+		tailCopy = blocks[len(blocks)-1]
+		tailCopy.payload = append([]byte(nil), tailCopy.payload...)
+	}
+	sh.mu.RUnlock()
+
+	st.Points = make([]ReconPoint, 0, total)
+	var scratch []symbolic.Symbol
+	for i := 0; i+1 < len(blocks); i++ {
+		st.Points, scratch = appendBlockPoints(st.Points, &blocks[i], st.Tables, scratch)
+	}
+	if len(blocks) > 0 {
+		st.Points, _ = appendBlockPoints(st.Points, &tailCopy, st.Tables, scratch)
+	}
+	return st, true
+}
+
+// appendBlockPoints reconstructs one block's points via the codec's
+// sequential range decoder, reusing scratch across blocks.
+func appendBlockPoints(dst []ReconPoint, b *block, tables []*symbolic.Table, scratch []symbolic.Symbol) ([]ReconPoint, []symbolic.Symbol) {
+	values := tables[b.epoch].ReconstructionValues()
+	scratch = symbolic.AppendUnpackRange(scratch[:0], b.payload, int(b.level), 0, int(b.n))
+	for i, s := range scratch {
+		dst = append(dst, ReconPoint{
+			T: b.firstT + int64(i)*b.stride,
+			S: s,
+			V: values[s.Index()],
+		})
+	}
+	return dst, scratch
+}
+
+// QueryMeter invokes fn for each non-empty block of the meter in append
+// order, under the shard read lock, and reports whether the meter exists.
+// fn must be pure computation over the view — no blocking, no retaining of
+// the view's slices (see BlockView).
+func (s *Store) QueryMeter(meterID uint64, fn func(BlockView)) bool {
 	sh := s.shardOf(meterID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	e := sh.meters[meterID]
 	if e == nil {
-		return MeterState{}, false
+		return false
 	}
-	st := e.state
-	st.Tables = append([]*symbolic.Table(nil), e.state.Tables...)
-	st.Points = append([]ReconPoint(nil), e.state.Points...)
-	return st, true
+	e.visit(fn)
+	return true
+}
+
+func (e *meterEntry) visit(fn func(BlockView)) {
+	for i := range e.blocks {
+		if e.blocks[i].n == 0 {
+			continue
+		}
+		fn(e.view(&e.blocks[i]))
+	}
+}
+
+// QueryShard invokes fn for each non-empty block of every meter assigned to
+// the given shard, under that shard's read lock. Fleet-wide scans fan one
+// goroutine out per shard over this, so they touch each lock exactly once
+// and scale across cores like ingest does.
+func (s *Store) QueryShard(shardIdx int, fn func(meterID uint64, v BlockView)) {
+	sh := &s.shards[shardIdx]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for id, e := range sh.meters {
+		for i := range e.blocks {
+			if e.blocks[i].n == 0 {
+				continue
+			}
+			fn(id, e.view(&e.blocks[i]))
+		}
+	}
 }
 
 // Meters returns the IDs of every meter the store has seen, in no
@@ -249,17 +430,47 @@ func (s *Store) Meters() []uint64 {
 	return ids
 }
 
-// TotalSymbols returns the number of reconstructed points across all
-// meters.
+// TotalSymbols returns the number of stored points across all meters.
 func (s *Store) TotalSymbols() int {
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for _, e := range sh.meters {
-			total += len(e.state.Points)
+			total += e.total
 		}
 		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// MemoryFootprint returns the resident bytes attributable to point storage
+// and the number of stored points — the measured basis for the
+// bytes-per-point claim in BENCH_3. Reserve arenas are counted at their
+// full allocated size (carved regions stay resident for the slab's
+// lifetime, trimmed or not); blocks add their metadata plus any payload or
+// histogram they own outside an arena. Table and map overhead is excluded:
+// both exist identically in any storage scheme.
+func (s *Store) MemoryFootprint() (bytes, points int64) {
+	const blockMeta = int64(unsafe.Sizeof(block{}))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.meters {
+			points += int64(e.total)
+			bytes += e.arenaBytes
+			for j := range e.blocks {
+				b := &e.blocks[j]
+				bytes += blockMeta
+				if !b.payloadFromArena {
+					bytes += int64(cap(b.payload))
+				}
+				if !b.histFromArena {
+					bytes += 4 * int64(cap(b.hist))
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return bytes, points
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -192,8 +193,10 @@ func TestReserveUnknownMeter(t *testing.T) {
 }
 
 // TestStoreAppendZeroAlloc enforces the hot ingest path's zero-allocation
-// contract: with capacity reserved, Append must not allocate — no error
-// values, no per-point table lookups, no append growth.
+// contract: with block capacity reserved, Append on a regular stream must
+// not allocate — no error values, no per-point table lookups, no block or
+// arena growth. Timestamps advance monotonically across batches, as a live
+// meter's do; every block fills to BlockCap before sealing.
 func TestStoreAppendZeroAlloc(t *testing.T) {
 	s := NewStore(1)
 	table := testTable(t)
@@ -206,19 +209,343 @@ func TestStoreAppendZeroAlloc(t *testing.T) {
 	const batch = 96
 	const runs = 200
 	pts := make([]symbolic.SymbolPoint, batch)
-	for i := range pts {
-		pts[i] = symbolic.SymbolPoint{T: int64(i) * 60, S: table.Encode(float64(i * 10))}
+	syms := make([]symbolic.Symbol, batch)
+	for i := range syms {
+		syms[i] = table.Encode(float64(i * 10))
 	}
 	// +2 runs of slack: AllocsPerRun warms up with an extra call.
 	if err := s.Reserve(1, (runs+2)*batch); err != nil {
 		t.Fatal(err)
 	}
+	var next int64
 	allocs := testing.AllocsPerRun(runs, func() {
+		for i := range pts {
+			pts[i] = symbolic.SymbolPoint{T: (next + int64(i)) * 60, S: syms[i]}
+		}
+		next += batch
 		if _, err := s.Append(1, pts); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Append allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBlockChainShape pins the sealing rules: blocks fill to BlockCap on a
+// regular stream, seal early on a stride break (gap) or a table push (new
+// epoch), and snapshots reconstruct exact timestamps through all of it.
+func TestBlockChainShape(t *testing.T) {
+	s := NewStore(2)
+	table := testTable(t)
+	if err := s.StartSession(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(3, table); err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	push := func(ts ...int64) {
+		t.Helper()
+		pts := make([]symbolic.SymbolPoint, len(ts))
+		for i, tt := range ts {
+			pts[i] = symbolic.SymbolPoint{T: tt, S: table.Encode(float64(tt % 997))}
+		}
+		if _, err := s.Append(3, pts); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ts...)
+	}
+
+	// Regular minute stream crossing one block boundary.
+	long := make([]int64, BlockCap+10)
+	for i := range long {
+		long[i] = int64(i) * 60
+	}
+	push(long...)
+	// Gap: jumps from the established stride, then a different stride.
+	push(100_000, 100_900, 101_800)
+	// Epoch change seals the tail even though its stride could continue.
+	if err := s.PushTable(3, table); err != nil {
+		t.Fatal(err)
+	}
+	push(102_700, 103_600)
+	// Backwards timestamp (reconnect replay) starts a fresh block.
+	push(50, 110)
+
+	st, ok := s.Snapshot(3)
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if len(st.Points) != len(want) {
+		t.Fatalf("snapshot has %d points, want %d", len(st.Points), len(want))
+	}
+	for i, p := range st.Points {
+		if p.T != want[i] {
+			t.Fatalf("point %d: T = %d, want %d", i, p.T, want[i])
+		}
+		if v, err := st.Tables[len(st.Tables)-1].Value(p.S); err != nil || v != p.V {
+			t.Fatalf("point %d: V = %v, table gives %v (err %v)", i, p.V, v, err)
+		}
+	}
+	if got := s.TotalSymbols(); got != len(want) {
+		t.Fatalf("TotalSymbols = %d, want %d", got, len(want))
+	}
+
+	// The visitor sees the same stream the snapshot reconstructed, and every
+	// block's summary matches a recount of its own payload.
+	var visited int
+	s.QueryMeter(3, func(v BlockView) {
+		visited += v.N
+		hist := make([]uint64, 1<<uint(v.Level))
+		symbolic.PackedRangeHistogram(hist, v.Payload, v.Level, 0, v.N)
+		var n uint64
+		var sum float64
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for sym, c := range hist {
+			n += c
+			sum += float64(c) * v.Values[sym]
+			if c > 0 {
+				minV = math.Min(minV, v.Values[sym])
+				maxV = math.Max(maxV, v.Values[sym])
+			}
+		}
+		if int(n) != v.N || minV != v.MinV || maxV != v.MaxV {
+			t.Fatalf("block summary mismatch: n=%d/%d min=%v/%v max=%v/%v", n, v.N, minV, v.MinV, maxV, v.MaxV)
+		}
+		if d := sum - v.Sum; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("block sum %v, recount %v", v.Sum, sum)
+		}
+		for i := 0; i < len(v.Hist); i++ {
+			if uint64(v.Hist[i]) != hist[i] {
+				t.Fatalf("block hist[%d] = %d, recount %d", i, v.Hist[i], hist[i])
+			}
+		}
+	})
+	if visited != len(want) {
+		t.Fatalf("visitor saw %d points, want %d", visited, len(want))
+	}
+}
+
+// TestMemoryFootprint verifies the packed store's headline: resident bytes
+// per point are a small fraction of the 24-byte ReconPoint it replaced.
+func TestMemoryFootprint(t *testing.T) {
+	s := NewStore(4)
+	table := testTable(t) // k=8, level 3
+	const n = 8192
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reserve(1, n); err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]symbolic.SymbolPoint, n)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: int64(i) * 900, S: table.Encode(float64(i % 4000))}
+	}
+	if _, err := s.Append(1, pts); err != nil {
+		t.Fatal(err)
+	}
+	bytes, points := s.MemoryFootprint()
+	if points != n {
+		t.Fatalf("points = %d, want %d", points, n)
+	}
+	perPoint := float64(bytes) / float64(points)
+	if perPoint > 2.4 { // ≥ 10x under the 24-byte ReconPoint
+		t.Fatalf("%.2f bytes/point, want ≤ 2.4 (10x reduction vs 24-byte ReconPoint)", perPoint)
+	}
+}
+
+// TestDegenerateStreamMemoryBounded pins the seal-time trimming: a stream
+// whose timestamps break the stride on every point (client-controlled wire
+// input — out-of-order replay, alternating clocks) seals a near-empty block
+// per point. Trimming must keep the cost to per-block metadata instead of a
+// full 512-symbol payload plus histogram lanes each.
+func TestDegenerateStreamMemoryBounded(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t) // k=8, level 3: full payload would be 192 B/block
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		// Alternating far-apart timestamps: every point breaks the stride.
+		ts := int64(i)
+		if i%2 == 1 {
+			ts += 1 << 40
+		}
+		pts := []symbolic.SymbolPoint{{T: ts, S: table.Encode(float64(i % 997))}}
+		if _, err := s.Append(1, pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes, points := s.MemoryFootprint()
+	if points != n {
+		t.Fatalf("points = %d, want %d", points, n)
+	}
+	perPoint := float64(bytes) / float64(points)
+	// Untrimmed, each 1-point block would pin ~328 B (192 payload + 32 hist
+	// + metadata); trimmed, only the metadata and one payload byte remain.
+	if perPoint > 128 {
+		t.Fatalf("degenerate stream costs %.0f B/point, want ≤ 128 (seal trimming broken)", perPoint)
+	}
+	// The pathological chain must still reconstruct and query correctly.
+	st, _ := s.Snapshot(1)
+	if len(st.Points) != n {
+		t.Fatalf("snapshot has %d points, want %d", len(st.Points), n)
+	}
+}
+
+// TestAdversarialTimestampOverflow pins the stride guard: timestamps chosen
+// to wrap the block's arithmetic progression past int64 must not corrupt
+// queries — every point lands in its own block and both read paths
+// (visitor-based queries and Snapshot reconstruction) see all of them.
+func TestAdversarialTimestampOverflow(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t)
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	const minInt64 = -1 << 63
+	// Includes the span-overflow shape: firstT ≈ -maxInt64/510 followed by
+	// t=0 fixes a stride whose 511-step span exceeds int64 even though the
+	// block's own lastT would not — offsets t0-firstT must never wrap.
+	ts := []int64{1, 1<<62 + 1, minInt64 + 1, maxInt64, maxInt64 - 1, 0,
+		-(maxInt64 / 510), 0, maxInt64 / 510 * 2}
+	for _, tt := range ts {
+		if _, err := s.Append(1, []symbolic.SymbolPoint{{T: tt, S: table.Encode(100)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := 0
+	s.QueryMeter(1, func(v BlockView) {
+		visited += v.N
+		if v.LastT() < v.FirstT {
+			t.Fatalf("block lastT %d wrapped below firstT %d", v.LastT(), v.FirstT)
+		}
+	})
+	if visited != len(ts) {
+		t.Fatalf("queries see %d points, want %d", visited, len(ts))
+	}
+	st, _ := s.Snapshot(1)
+	if len(st.Points) != len(ts) {
+		t.Fatalf("snapshot has %d points, want %d", len(st.Points), len(ts))
+	}
+	for i, p := range st.Points {
+		if p.T != ts[i] {
+			t.Fatalf("point %d: T = %d, want %d", i, p.T, ts[i])
+		}
+	}
+}
+
+// TestNegativeTimestampsFormFullBlocks pins the other side of the stride
+// guard: a perfectly regular stream whose timestamps sit before the epoch
+// (negative int64) is ordinary input and must still pack into full blocks —
+// a guard that rejects negative time would silently fragment one block per
+// point and forfeit the store's memory and summary contracts.
+func TestNegativeTimestampsFormFullBlocks(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t)
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	const n = BlockCap + 100
+	pts := make([]symbolic.SymbolPoint, n)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: -86400 + int64(i)*900, S: table.Encode(float64(i % 997))}
+	}
+	if _, err := s.Append(1, pts); err != nil {
+		t.Fatal(err)
+	}
+	blocks := 0
+	s.QueryMeter(1, func(v BlockView) { blocks++ })
+	if blocks != 2 {
+		t.Fatalf("regular pre-epoch stream fragmented into %d blocks, want 2", blocks)
+	}
+}
+
+// TestReservedArenaAccountedWhole pins MemoryFootprint's arena accounting:
+// a Reserve'd meter whose degenerate stream abandons carved regions must
+// still report at least the full arena allocation — the slab stays
+// resident no matter what the blocks did with their slices.
+func TestReservedArenaAccountedWhole(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t) // k=8, level 3
+	if err := s.StartSession(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(1, table); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	if err := s.Reserve(1, n); err != nil {
+		t.Fatal(err)
+	}
+	nb := (n+BlockCap-1)/BlockCap + 1
+	arena := int64(nb*blockBytes(table.Level()) + 4*nb*table.K())
+	for i := 0; i < n; i++ {
+		ts := int64(i)
+		if i%2 == 1 {
+			ts += 1 << 40 // every point breaks the stride
+		}
+		if _, err := s.Append(1, []symbolic.SymbolPoint{{T: ts, S: table.Encode(float64(i % 997))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes, points := s.MemoryFootprint()
+	if points != n {
+		t.Fatalf("points = %d, want %d", points, n)
+	}
+	if bytes < arena {
+		t.Fatalf("footprint %d B under-reports the %d B reserve arena", bytes, arena)
+	}
+}
+
+// TestReserveBeforeTable pins the parked-Reserve path the session handshake
+// takes: Reserve lands before any table, and must still make ingest
+// allocation-free once the table arrives.
+func TestReserveBeforeTable(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t)
+	if err := s.StartSession(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reserve(2, 4*BlockCap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushTable(2, table); err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]symbolic.SymbolPoint, BlockCap)
+	for i := range pts {
+		pts[i] = symbolic.SymbolPoint{T: int64(i) * 60, S: table.Encode(float64(i))}
+	}
+	if _, err := s.Append(2, pts); err != nil { // warm the tail block
+		t.Fatal(err)
+	}
+	var next int64 = BlockCap
+	allocs := testing.AllocsPerRun(2, func() {
+		for i := range pts {
+			pts[i].T = (next + int64(i)) * 60
+		}
+		next += BlockCap
+		if _, err := s.Append(2, pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Append after parked Reserve allocates %.1f times per run, want 0", allocs)
 	}
 }

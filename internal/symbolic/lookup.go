@@ -26,6 +26,11 @@ type Table struct {
 	// symbol→value by direct index with no NaN test, bounds math or error
 	// allocation per point.
 	values []float64
+	// byteSums[b] is the sum of reconstruction values of the symbols packed
+	// into payload byte b, for the byte-aligned levels 1, 2 and 4 (nil
+	// otherwise). The compressed-domain sum kernel (PackedRangeSumLUT)
+	// aggregates a whole byte of packed symbols per table lookup with it.
+	byteSums []float64
 	// min and max of the training data, closing the outer bins for centers.
 	min, max float64
 	// method records which learner produced the table (for reporting).
@@ -79,7 +84,27 @@ func (t *Table) refreshValues() {
 		lo, hi, _ := t.Bounds(Symbol{index: uint32(i), level: level})
 		t.values[i] = (lo + hi) / 2
 	}
+	if lv := t.alphabet.Level(); lv == 1 || lv == 2 || lv == 4 {
+		if t.byteSums == nil {
+			t.byteSums = make([]float64, 256)
+		}
+		spb := 8 / lv
+		mask := 1<<uint(lv) - 1
+		for b := 0; b < 256; b++ {
+			var sum float64
+			for j := 0; j < spb; j++ {
+				sum += t.values[b>>uint(8-(j+1)*lv)&mask]
+			}
+			t.byteSums[b] = sum
+		}
+	}
 }
+
+// ByteSums returns the per-payload-byte partial-sum table for this table's
+// reconstruction values, or nil when the level is not byte-aligned (only
+// levels 1, 2 and 4 pack a whole number of symbols per byte). The slice is
+// owned by the table and valid until the next SetRepresentatives call.
+func (t *Table) ByteSums() []float64 { return t.byteSums }
 
 // ReconstructionValues returns the per-bin reconstruction values indexed by
 // symbol index: repr means where training data was seen, bin centers
