@@ -430,9 +430,9 @@ func BenchmarkUnpack(b *testing.B) {
 // BenchmarkQueryEngine measures the compressed-domain query engine against
 // its decode-then-aggregate baseline over a fixture of 32 meters × 4 weeks
 // of 15-minute symbols. The query side reads block summaries and runs LUT
-// kernels on edge blocks, one goroutine per shard; the baseline reconstructs
+// kernels on edge blocks through the bounded worker pool; the baseline reconstructs
 // every stream and loops the floats. Bodies live in internal/benchref so
-// cmd/bench (BENCH_3.json) measures identical code.
+// cmd/bench (BENCH_4.json) measures identical code.
 func BenchmarkQueryEngine(b *testing.B) {
 	const meters, perMeter = benchref.QueryFixtureMeters, benchref.QueryFixturePoints
 	st, err := benchref.MakeQueryStore(meters, perMeter)
@@ -452,6 +452,45 @@ func BenchmarkQueryEngine(b *testing.B) {
 	})
 	b.Run("baseline-fleet-sum", func(b *testing.B) { benchref.BenchBaselineFleetSum(b, st, total) })
 	b.Run("baseline-fleet-hist", func(b *testing.B) { benchref.BenchBaselineFleetHistogram(b, st, 16, total) })
+}
+
+// BenchmarkMixedIngestQuery is the mixed-workload suite of the lock-free
+// read path: fleet aggregates at increasing worker-pool bounds run against
+// a store whose live tails are being mutated by background ingest the whole
+// time. Queries read the RCU-published sealed indexes without shard locks,
+// so on a multi-core box their throughput scales with the worker count
+// instead of serializing against the writers; on a single-core box (like
+// the container the committed BENCH_4.json was generated on — see its
+// "cpus" field) extra workers only add scheduling overhead, so the sweep is
+// meaningful where CI runs it, not there. Bodies live in internal/benchref
+// so cmd/bench (BENCH_4.json) measures identical code.
+func BenchmarkMixedIngestQuery(b *testing.B) {
+	st, err := benchref.MakeQueryStore(benchref.QueryFixtureMeters, benchref.QueryFixturePoints)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := benchref.StartBackgroundIngest(b, st, 4)
+	defer stop()
+	eng := query.New(st)
+	total := benchref.QueryFixtureMeters * benchref.QueryFixturePoints
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fleet-agg/workers=%d", workers), func(b *testing.B) {
+			benchref.BenchMixedFleetAggregate(b, eng, workers, total)
+		})
+	}
+}
+
+// BenchmarkIngestUnderReaders measures Append latency (p50/p99 reported as
+// metrics) on a hot meter, solo and with 4 concurrent readers running fleet
+// aggregates plus full Snapshot reconstructions. The lock-free read path's
+// contract is that slow readers never make an Append wait on a lock held
+// across a scan — measured as an unchanged p50. The p99 additionally
+// absorbs whatever scheduler preemption the reader goroutines cause, which
+// on an undersubscribed (e.g. single-core) box can dominate it; compare
+// p99s only across runs on the same hardware with cores to spare.
+func BenchmarkIngestUnderReaders(b *testing.B) {
+	b.Run("solo", func(b *testing.B) { benchref.BenchIngestLatency(b, 0) })
+	b.Run("readers=4", func(b *testing.B) { benchref.BenchIngestLatency(b, 4) })
 }
 
 // BenchmarkStoreAppend measures committing one decoded day-batch into the

@@ -1,19 +1,22 @@
 // Command bench runs the hot-path micro-benchmarks — symbol codec pack and
 // unpack (word-at-a-time kernel vs the bit-at-a-time baseline kept in
-// internal/benchref), sharded-store batch ingest, and the compressed-domain
-// query engine vs its decode-then-aggregate baseline — and writes the
+// internal/benchref), sharded-store batch ingest, the compressed-domain
+// query engine vs its decode-then-aggregate baseline, and the mixed
+// ingest+query workload over the lock-free read path — and writes the
 // results as JSON, so every PR's perf trajectory is recorded as an artifact
 // instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_3.json
+//	bench                         # writes BENCH_4.json
 //	bench -out /tmp/b.json -benchtime 100ms
 //	bench -cpuprofile cpu.out     # profile the query path
 //
 // The JSON carries ns/op, symbols/sec, B/op and allocs/op per benchmark,
 // the speedup of each kernel over its baseline (pack/unpack floors at 4x;
-// the compressed-domain query floor is 5x over decode-then-aggregate), and
-// the store's measured resident bytes per point against the 24-byte
-// ReconPoint layout it replaced (floor: 10x reduction).
+// the compressed-domain query floor is 5x over decode-then-aggregate), the
+// store's measured resident bytes per point against the 24-byte ReconPoint
+// layout it replaced (floor: 10x reduction), and a mixed section: fleet
+// query throughput per worker-pool bound under live background ingest, and
+// ingest p50/p99 latency with and without concurrent slow readers.
 package main
 
 import (
@@ -52,7 +55,26 @@ type MemoryStats struct {
 	Reduction float64 `json:"reduction"`
 }
 
-// Report is the BENCH_3.json document.
+// WorkerRate is one point of the fleet-query worker-scaling sweep.
+type WorkerRate struct {
+	Workers       int     `json:"workers"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// MixedStats is the mixed ingest+query workload section: query throughput
+// per worker bound while background writers keep mutating live tails, and
+// hot-meter Append latency with and without concurrent slow readers. These
+// are contention measurements, inherently machine- and load-sensitive, so
+// they are recorded for trajectory inspection rather than gated.
+type MixedStats struct {
+	FleetQueryUnderIngest []WorkerRate `json:"fleet_query_under_ingest"`
+	IngestP50SoloNs       float64      `json:"ingest_p50_solo_ns"`
+	IngestP99SoloNs       float64      `json:"ingest_p99_solo_ns"`
+	IngestP50ReadersNs    float64      `json:"ingest_p50_readers_ns"`
+	IngestP99ReadersNs    float64      `json:"ingest_p99_readers_ns"`
+}
+
+// Report is the BENCH_4.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
@@ -62,6 +84,7 @@ type Report struct {
 	Results  []Result           `json:"results"`
 	Speedups map[string]float64 `json:"speedup_vs_baseline"`
 	Memory   MemoryStats        `json:"memory"`
+	Mixed    MixedStats         `json:"mixed"`
 }
 
 func main() {
@@ -74,7 +97,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath    = fs.String("out", "BENCH_3.json", "output JSON path")
+		outPath    = fs.String("out", "BENCH_4.json", "output JSON path")
 		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -98,7 +121,7 @@ func run(args []string, out io.Writer) error {
 	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/3",
+		Schema:   "symmeter-bench/4",
 		Go:       runtime.Version(),
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
@@ -143,7 +166,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// The benchmark bodies are shared with bench_test.go via internal/benchref
-	// so BENCH_3.json and `go test -bench` cannot measure different code.
+	// so BENCH_4.json and `go test -bench` cannot measure different code.
 	record("pack/word", n, func(b *testing.B) { benchref.BenchPackWord(b, syms) })
 	record("pack/word-append", n, func(b *testing.B) { benchref.BenchPackAppend(b, syms) })
 	record("pack/bitwise", n, func(b *testing.B) { benchref.BenchPackBitwise(b, syms) })
@@ -194,6 +217,33 @@ func run(args []string, out io.Writer) error {
 		rep.Speedups["pack"], rep.Speedups["pack_alloc"], rep.Speedups["unpack"], rep.Speedups["unpack_alloc"])
 	fmt.Fprintf(out, "speedup vs decode-then-aggregate: sum %.1fx, histogram %.1fx\n",
 		rep.Speedups["query_sum"], rep.Speedups["query_hist"])
+
+	// Mixed ingest+query workload: not gated (contention measurements are
+	// load-sensitive), recorded so the worker-scaling and ingest-latency
+	// trajectories live in the artifact next to the kernel numbers. Each
+	// sweep point gets a fresh store so worker counts see identical data.
+	for _, workers := range []int{1, 2, 4, 8} {
+		mst, err := benchref.MakeQueryStore(meters, perMeter)
+		if err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			stop := benchref.StartBackgroundIngest(b, mst, 4)
+			defer stop()
+			benchref.BenchMixedFleetAggregate(b, query.New(mst), workers, total)
+		})
+		rate := r.Extra["queries/s"]
+		rep.Mixed.FleetQueryUnderIngest = append(rep.Mixed.FleetQueryUnderIngest, WorkerRate{Workers: workers, QueriesPerSec: rate})
+		fmt.Fprintf(out, "mixed/fleet-agg workers=%d %31.1f queries/s under live ingest\n", workers, rate)
+	}
+	solo := testing.Benchmark(func(b *testing.B) { benchref.BenchIngestLatency(b, 0) })
+	withReaders := testing.Benchmark(func(b *testing.B) { benchref.BenchIngestLatency(b, 4) })
+	rep.Mixed.IngestP50SoloNs = solo.Extra["p50-ns"]
+	rep.Mixed.IngestP99SoloNs = solo.Extra["p99-ns"]
+	rep.Mixed.IngestP50ReadersNs = withReaders.Extra["p50-ns"]
+	rep.Mixed.IngestP99ReadersNs = withReaders.Extra["p99-ns"]
+	fmt.Fprintf(out, "mixed/ingest-latency solo p50 %.0f ns, p99 %.0f ns; under 4 readers p50 %.0f ns, p99 %.0f ns\n",
+		rep.Mixed.IngestP50SoloNs, rep.Mixed.IngestP99SoloNs, rep.Mixed.IngestP50ReadersNs, rep.Mixed.IngestP99ReadersNs)
 
 	bytes, points := st.MemoryFootprint()
 	rep.Memory = MemoryStats{

@@ -9,7 +9,7 @@ import (
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_3.json structure.
+// validates the BENCH_4.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,7 +24,7 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/3" {
+	if rep.Schema != "symmeter-bench/4" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Results) != 12 {
@@ -69,6 +69,21 @@ func TestRunSmoke(t *testing.T) {
 	if rep.Memory.Reduction < 10 {
 		t.Fatalf("memory reduction = %.1fx (%.2f B/point), want ≥ 10x",
 			rep.Memory.Reduction, rep.Memory.PackedBytesPerPoint)
+	}
+	// The mixed ingest+query section must carry the full worker sweep and
+	// latency percentiles (values are load-sensitive; presence and basic
+	// sanity are the contract).
+	if got := len(rep.Mixed.FleetQueryUnderIngest); got != 4 {
+		t.Fatalf("mixed sweep has %d worker points, want 4", got)
+	}
+	for _, wr := range rep.Mixed.FleetQueryUnderIngest {
+		if wr.Workers <= 0 || wr.QueriesPerSec <= 0 {
+			t.Fatalf("bad mixed sweep point %+v", wr)
+		}
+	}
+	if rep.Mixed.IngestP99SoloNs <= 0 || rep.Mixed.IngestP99ReadersNs <= 0 ||
+		rep.Mixed.IngestP50SoloNs <= 0 || rep.Mixed.IngestP50ReadersNs <= 0 {
+		t.Fatalf("mixed ingest latency percentiles missing: %+v", rep.Mixed)
 	}
 }
 

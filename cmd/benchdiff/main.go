@@ -1,30 +1,33 @@
 // Command benchdiff is the CI bench-regression gate: it compares the
 // symbols/sec throughput of matching benchmarks between a committed baseline
-// report (BENCH_2.json) and a freshly-measured one (BENCH_3.json) and fails
+// report (BENCH_3.json) and a freshly-measured one (BENCH_4.json) and fails
 // when any compared benchmark regressed by more than the allowed fraction.
 //
-//	benchdiff -baseline BENCH_2.json -current BENCH_3.json -max-regress 0.20
+//	benchdiff -baseline BENCH_3.json -current BENCH_4.json -max-regress 0.20
 //
-// Only the codec benchmarks (pack/*, unpack/*) are compared by default:
-// their workloads are identical across report schemas, so a slowdown is a
-// real kernel regression rather than a fixture change. Store and query
-// benchmarks change shape as the storage engine evolves; they are tracked
-// by inspection of the uploaded artifacts instead.
+// The codec benchmarks (pack/*, unpack/*) and the compressed-domain query
+// benchmarks (query/*) are compared by default: both workloads are
+// identical across report schemas, so a slowdown is a real kernel or
+// query-path regression rather than a fixture change. Store benchmarks
+// change shape as the storage engine evolves; they are tracked by
+// inspection of the uploaded artifacts instead.
 //
 // The committed baseline was measured on a different machine than CI runs
 // on, so absolute symbols/sec would gate hardware variance, not code. Each
 // compared benchmark is therefore normalized by its own report's frozen
-// bit-at-a-time baseline (pack/bitwise or unpack/bitwise, measured in the
-// same run on the same machine): the gated quantity is the word-kernel
-// speedup, which a slower runner scales identically in both kernels.
-// Reports lacking the family baseline fall back to absolute throughput.
+// same-run ruler: the codec families by their bit-at-a-time baseline
+// (pack/bitwise, unpack/bitwise), the query family by its decode-then-
+// aggregate twin (query/fleet-sum by baseline/fleet-sum, and so on) — the
+// gated quantity is the speedup over the ruler, which a slower runner
+// scales identically in both. Reports lacking the ruler fall back to
+// absolute throughput.
 //
-// The allocating convenience wrappers (pack/word, unpack/word) are excluded
-// by default: their cost is dominated by the allocator and jitters ±15-20%
-// with heap state, which a 20% gate cannot distinguish from a regression.
-// The zero-allocation forms (pack/word-append, unpack/word-into) are the
-// wire path's actual kernels and measure deterministically; the wrappers
-// stay visible in the uploaded artifacts for inspection.
+// Excluded by default: the allocating convenience wrappers (pack/word,
+// unpack/word), whose cost is dominated by the allocator and jitters
+// ±15-20% with heap state — which a 20% gate cannot distinguish from a
+// regression — and query/meter-window, which has no same-run ruler (a
+// per-meter decode-then-aggregate baseline is not measured) and would gate
+// raw hardware variance. All stay visible in the uploaded artifacts.
 package main
 
 import (
@@ -57,11 +60,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_2.json", "committed baseline report")
-		currentPath  = fs.String("current", "BENCH_3.json", "freshly-measured report")
+		baselinePath = fs.String("baseline", "BENCH_3.json", "committed baseline report")
+		currentPath  = fs.String("current", "BENCH_4.json", "freshly-measured report")
 		maxRegress   = fs.Float64("max-regress", 0.20, "maximum allowed throughput regression fraction")
-		prefixes     = fs.String("prefixes", "pack/,unpack/", "comma-separated benchmark name prefixes to compare")
-		exclude      = fs.String("exclude", "pack/word,unpack/word", "comma-separated exact benchmark names to skip (allocator-noise-dominated)")
+		prefixes     = fs.String("prefixes", "pack/,unpack/,query/", "comma-separated benchmark name prefixes to compare")
+		exclude      = fs.String("exclude", "pack/word,unpack/word,query/meter-window", "comma-separated exact benchmark names to skip (allocator-noise-dominated or ruler-less)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -161,13 +164,18 @@ func rates(r *report) map[string]float64 {
 	return m
 }
 
-// normalizer returns the throughput of the frozen bit-at-a-time baseline
-// for name's family within the same report ("pack/…" → "pack/bitwise"), or
-// 0 when the report has none (callers then compare absolutes).
+// normalizer returns the throughput of name's frozen same-run ruler within
+// the same report — the bit-at-a-time baseline for the codec families
+// ("pack/…" → "pack/bitwise"), the decode-then-aggregate twin for the query
+// family ("query/fleet-sum" → "baseline/fleet-sum") — or 0 when the report
+// has none (callers then compare absolutes).
 func normalizer(rates map[string]float64, name string) float64 {
-	family, _, ok := strings.Cut(name, "/")
+	family, rest, ok := strings.Cut(name, "/")
 	if !ok {
 		return 0
+	}
+	if family == "query" {
+		return rates["baseline/"+rest]
 	}
 	return rates[family+"/bitwise"]
 }

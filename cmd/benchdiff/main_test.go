@@ -166,3 +166,54 @@ func TestDiffMissingFile(t *testing.T) {
 		t.Fatalf("-h should be nil, got %v", err)
 	}
 }
+
+// TestDiffQueryNormalizedByAggregationBaseline pins the query family's
+// ruler: query/fleet-* is normalized by its decode-then-aggregate twin
+// (baseline/fleet-*) measured in the same run, so a uniformly slower
+// machine passes while a lost query speedup fails even at higher absolute
+// throughput.
+func TestDiffQueryNormalizedByAggregationBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/3", map[string]float64{
+		"query/fleet-sum":    4000000, // 40x the decode-then-aggregate ruler
+		"baseline/fleet-sum": 100000,
+	})
+	slowRunner := writeReport(t, dir, "slow.json", "symmeter-bench/4", map[string]float64{
+		"query/fleet-sum":    2000000, // half the speed, same 40x speedup
+		"baseline/fleet-sum": 50000,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", slowRunner}, &out); err != nil {
+		t.Fatalf("uniformly slower runner flagged as query regression: %v\n%s", err, out.String())
+	}
+	fastButRegressed := writeReport(t, dir, "fast.json", "symmeter-bench/4", map[string]float64{
+		"query/fleet-sum":    5000000, // absolutely faster, but only 25x its ruler
+		"baseline/fleet-sum": 200000,
+	})
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", fastButRegressed}, &out)
+	if err == nil || !strings.Contains(err.Error(), "query/fleet-sum") {
+		t.Fatalf("query speedup regression not caught: %v\n%s", err, out.String())
+	}
+}
+
+// TestDiffExcludesMeterWindow pins the default exclusion of the ruler-less
+// query/meter-window benchmark: absolute cross-machine throughput is not a
+// gateable quantity.
+func TestDiffExcludesMeterWindow(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/3", map[string]float64{
+		"query/fleet-sum":    4000000,
+		"baseline/fleet-sum": 100000,
+		"query/meter-window": 9000000,
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/4", map[string]float64{
+		"query/fleet-sum":    4000000,
+		"baseline/fleet-sum": 100000,
+		"query/meter-window": 900000, // 10x down, but excluded by default
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("excluded query/meter-window gated anyway: %v\n%s", err, out.String())
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) (err error) {
 		relearn    = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
 		qfrom      = fs.Int64("qfrom", 0, "query range start (seconds since the stream epoch)")
 		qto        = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
+		qworkers   = fs.Int("qworkers", 0, "fleet-query worker pool size (0 = GOMAXPROCS)")
 		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -133,9 +134,13 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	// The fleet summary is answered by the compressed-domain query engine —
-	// block summaries plus LUT edge kernels over the packed store, one
-	// goroutine per shard — not by reconstructing streams.
+	// block summaries plus LUT edge kernels over the RCU-published sealed
+	// indexes, a bounded worker pool over the shards — not by reconstructing
+	// streams, and (for sealed data) without taking any shard lock.
 	eng := query.New(svc.Store())
+	if *qworkers > 0 {
+		eng.SetWorkers(*qworkers)
+	}
 	t0, t1 := *qfrom, *qto
 	if t1 <= 0 {
 		// Unbounded: only a point at exactly MaxInt64 is unreachable by a
@@ -153,8 +158,9 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "fleet: %d meters sent %d raw measurements -> %d symbols in %v (%.0f symbols/sec)\n",
 		len(rep.Meters), rep.Sent, stored, elapsed.Round(time.Millisecond), rate)
 	if agg.Count > 0 {
-		fmt.Fprintf(out, "query: fleet mean %.1f W, min %.1f W, max %.1f W over [%d,%d) — %d points in %v, compressed-domain\n",
-			agg.Mean(), agg.Min, agg.Max, t0, t1, agg.Count, qelapsed.Round(time.Microsecond))
+		fmt.Fprintf(out, "query: fleet mean %.1f W, min %.1f W, max %.1f W over [%d,%d) — %d points in %v, compressed-domain, %d workers, %d tail-fold locks\n",
+			agg.Mean(), agg.Min, agg.Max, t0, t1, agg.Count, qelapsed.Round(time.Microsecond),
+			eng.Workers(), svc.Store().QueryLockAcquisitions())
 	} else {
 		fmt.Fprintf(out, "query: no points in [%d,%d) (%v, compressed-domain)\n", t0, t1, qelapsed.Round(time.Microsecond))
 	}

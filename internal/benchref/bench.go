@@ -1,7 +1,11 @@
 package benchref
 
 import (
+	"slices"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"symmeter/internal/query"
 	"symmeter/internal/server"
@@ -208,4 +212,221 @@ func BenchQueryMeterWindow(b *testing.B, e *query.Engine, meterID uint64, t0, t1
 		}
 	}
 	reportSymbols(b, perOp)
+}
+
+// --- Mixed ingest + query workload ----------------------------------------
+
+// IngestBaseT is the first timestamp background ingest writes at: far above
+// the query fixture's range, so a fixture-range fleet query has constant
+// work (the live meters cost one directory probe and a lock-free tail skip
+// each) no matter how much the writers have committed — which is what makes
+// worker counts comparable within one benchmark run.
+const IngestBaseT = int64(1) << 40
+
+// StartBackgroundIngest launches one writer goroutine per live meter (IDs
+// above the query fixture's), each streaming regular 96-point batches into
+// the store as fast as the scheduler allows — a continuous stream of tail
+// mutations, seals and index publications for the query side to race
+// against. The returned stop function halts the writers and reports the
+// total points they committed.
+func StartBackgroundIngest(b *testing.B, st *server.Store, meters int) (stop func() int64) {
+	table, err := StoreTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	level := table.Level()
+	k := table.K()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var committed atomic.Int64
+	for i := 0; i < meters; i++ {
+		id := uint64(10_000 + i)
+		if err := st.StartSession(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.PushTable(id, table); err != nil {
+			b.Fatal(err)
+		}
+		// Resume the regular stride from the meter's high-water mark: a
+		// caller (testing.Benchmark auto-scaling) may start ingest on the
+		// same store repeatedly, and replaying IngestBaseT would seal an
+		// out-of-order block, flip the chain to unordered and defeat the
+		// directory pruning the constant-work premise rests on.
+		start := IngestBaseT
+		if m, ok := st.Meter(id); ok {
+			start += int64(m.TotalSymbols()) * 900
+		}
+		wg.Add(1)
+		go func(id uint64, ts int64) {
+			defer wg.Done()
+			pts := make([]symbolic.SymbolPoint, 96)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for j := range pts {
+					pts[j] = symbolic.SymbolPoint{T: ts, S: symbolic.NewSymbol(int(ts/900)%k, level)}
+					ts += 900
+				}
+				if _, err := st.Append(id, pts); err != nil {
+					return // benchmark teardown races are not failures
+				}
+				committed.Add(96)
+			}
+		}(id, start)
+	}
+	return func() int64 {
+		close(done)
+		wg.Wait()
+		for i := 0; i < meters; i++ {
+			st.EndSession(uint64(10_000 + i))
+		}
+		return committed.Load()
+	}
+}
+
+// BenchMixedFleetAggregate measures fleet-aggregate throughput over the
+// fixture's time range at the given worker-pool bound while background
+// ingest keeps mutating live tails above that range. The query's work is
+// constant (the live meters are skipped lock-free via their published
+// directories), so the measured quantity is pure read-side scaling under
+// write pressure. perOp is the fixture's exact point count.
+func BenchMixedFleetAggregate(b *testing.B, e *query.Engine, workers, perOp int) {
+	e.SetWorkers(workers)
+	t1 := int64(QueryFixturePoints) * 900 // fixture points live at 0, 900, …
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := e.FleetAggregate(0, t1)
+		if a.Count != uint64(perOp) {
+			b.Fatalf("fleet aggregate saw %d fixture points, want %d", a.Count, perOp)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	reportSymbols(b, perOp)
+}
+
+// maxLatencySamples bounds the latency buffer of BenchIngestLatency: past
+// it, samples wrap (the percentile is then over the most recent window).
+const maxLatencySamples = 1 << 20
+
+// BenchIngestLatency measures per-Append latency on one hot meter and
+// reports its p50/p99, optionally while `readers` goroutines run continuous
+// fleet aggregates and full Snapshots (the "slow reader" of the PR-3 era).
+// With the lock-free read path, the with-readers p99 must sit on top of the
+// solo p99 instead of inheriting the readers' scan time — reads hold the
+// shard lock only for single-block tail folds.
+func BenchIngestLatency(b *testing.B, readers int) {
+	st := server.NewStore(16)
+	table, err := StoreTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]symbolic.SymbolPoint, 96)
+	if err := st.StartSession(1); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.PushTable(1, table); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Reserve(1, (1<<14)*len(pts)); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-load some sealed history so reader scans have real work.
+	var ts int64
+	for i := 0; i < 64; i++ {
+		for j := range pts {
+			pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j * 11 % 4000))}
+			ts += 900
+		}
+		if _, err := st.Append(1, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// live tracks the store the measured appends currently go to (it is
+	// recycled off-timer to bound memory for any b.N); the readers follow it
+	// so they always contend with the measured Append on the same shards.
+	var live atomic.Pointer[server.Store]
+	live.Store(st)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				cur := live.Load()
+				query.New(cur).FleetAggregate(0, 1<<60)
+				cur.Snapshot(1) // full reconstruction: the deliberately slow reader
+			}
+		}()
+	}
+	cur := st
+	lat := make([]int64, 0, min(maxLatencySamples, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<14) == 0 && i > 0 {
+			b.StopTimer()
+			ts = 0
+			cur = server.NewStore(16)
+			if err := cur.StartSession(1); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.PushTable(1, table); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.Reserve(1, (1<<14)*len(pts)); err != nil {
+				b.Fatal(err)
+			}
+			// Give the fresh store a sealed block so reader scans have work.
+			for j := range pts {
+				pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j))}
+				ts += 900
+			}
+			if _, err := cur.Append(1, pts); err != nil {
+				b.Fatal(err)
+			}
+			live.Store(cur)
+			b.StartTimer()
+		}
+		for j := range pts {
+			pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j * 11 % 4000))}
+			ts += 900
+		}
+		start := time.Now()
+		if _, err := cur.Append(1, pts); err != nil {
+			b.Fatal(err)
+		}
+		d := int64(time.Since(start))
+		if len(lat) < maxLatencySamples {
+			lat = append(lat, d)
+		} else {
+			lat[i%maxLatencySamples] = d
+		}
+	}
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+	b.ReportMetric(percentile(lat, 0.50), "p50-ns")
+	b.ReportMetric(percentile(lat, 0.99), "p99-ns")
+	reportSymbols(b, len(pts))
+}
+
+// percentile returns the q-quantile (0..1) of the samples in ns.
+func percentile(lat []int64, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), lat...)
+	slices.Sort(s)
+	i := int(q * float64(len(s)-1))
+	return float64(s[i])
 }

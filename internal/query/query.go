@@ -5,18 +5,24 @@
 //
 // The paper's premise is that smart-meter analytics can run on the symbolic
 // representation directly; this package is that premise as a query path.
-// Three mechanisms make it fast:
+// Four mechanisms make it fast:
 //
-//   - Block summaries: a block fully covered by the range contributes its
-//     precomputed count/sum/histogram/min/max in O(1) — the payload is never
-//     touched.
-//   - LUT kernels: a partially-covered edge block is aggregated by the
-//     word-at-a-time kernels in internal/symbolic (per-byte histogram and
-//     partial-sum tables), so level≤4 symbols fold 16-per-64-bit-word
-//     without unpacking.
-//   - Sharded fan-out: fleet-wide queries run one goroutine per store shard
-//     and merge partial aggregates, taking each shard lock exactly once and
-//     scaling across cores like ingest does.
+//   - Lock-free sealed reads: every aggregate runs against the meter's
+//     RCU-published sealed-block index (server.Meter.VisitRange), so queries
+//     never contend with ingest for shard locks — the only lock the read
+//     path ever takes is a brief one to fold the live tail block, and only
+//     when the range actually reaches it.
+//   - Time-directory pruning: per-meter range resolution binary-searches the
+//     published firstT directory, touching O(log B + blocks in range)
+//     instead of walking the whole chain.
+//   - Block summaries + LUT kernels: a block fully covered by the range
+//     contributes its precomputed count/sum/histogram/min/max in O(1); a
+//     partially-covered edge block is aggregated by the word-at-a-time
+//     kernels in internal/symbolic without unpacking.
+//   - Bounded worker pool: fleet-wide queries run a fixed pool of workers
+//     (SetWorkers, default GOMAXPROCS) pulling shards from a shared cursor,
+//     so query parallelism scales with cores independently of shard count
+//     and never holds a shard lock across a scan.
 //
 // Timestamps inside a block are arithmetic (firstT + i·stride), so range
 // overlap is integer division, not search.
@@ -26,7 +32,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"symmeter/internal/server"
 	"symmeter/internal/symbolic"
@@ -115,10 +123,28 @@ func (h *Histogram) Total() uint64 {
 // Engine answers compressed-domain queries against one store.
 type Engine struct {
 	store *server.Store
+	// workers bounds fleet-query parallelism (see SetWorkers).
+	workers int
 }
 
-// New returns an engine over the store.
-func New(store *server.Store) *Engine { return &Engine{store: store} }
+// New returns an engine over the store with fleet parallelism bounded by
+// GOMAXPROCS.
+func New(store *server.Store) *Engine {
+	return &Engine{store: store, workers: runtime.GOMAXPROCS(0)}
+}
+
+// SetWorkers bounds the worker pool fleet-wide queries fan out to (clamped
+// to ≥ 1). Workers read published indexes lock-free, so more workers scale
+// query throughput with cores instead of multiplying lock contention.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the current fleet-query parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
 
 // overlap returns the index range [i0, i1) of points in v whose timestamps
 // fall inside [t0, t1). Pure integer arithmetic: point i lives at
@@ -225,51 +251,65 @@ func blockSum(v server.BlockView, t0, t1 int64) (float64, uint64) {
 }
 
 // Aggregate computes count, sum, min and max for one meter over [t0, t1) in
-// a single pass. ok reports whether the meter exists.
+// a single pruned pass over the published index. ok reports whether the
+// meter exists.
 func (e *Engine) Aggregate(meterID uint64, t0, t1 int64) (Agg, bool) {
+	m, ok := e.store.Meter(meterID)
+	if !ok {
+		return Agg{}, false
+	}
 	var a Agg
-	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+	m.VisitRange(t0, t1, func(v server.BlockView) {
 		foldBlock(&a, v, t0, t1)
 	})
-	return a, ok
+	return a, true
 }
 
 // Count returns the number of stored points for the meter in [t0, t1).
 // Count never touches a payload: fully-covered blocks contribute their
 // stored count, edge blocks pure index arithmetic.
 func (e *Engine) Count(meterID uint64, t0, t1 int64) (uint64, bool) {
+	m, ok := e.store.Meter(meterID)
+	if !ok {
+		return 0, false
+	}
 	var n uint64
-	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+	m.VisitRange(t0, t1, func(v server.BlockView) {
 		i0, i1 := overlap(v, t0, t1)
 		n += uint64(i1 - i0)
 	})
-	return n, ok
+	return n, true
 }
 
 // Sum returns the sum of reconstruction values for the meter in [t0, t1),
 // using block summaries and the per-byte sum LUT for edges.
 func (e *Engine) Sum(meterID uint64, t0, t1 int64) (float64, bool) {
+	m, ok := e.store.Meter(meterID)
+	if !ok {
+		return 0, false
+	}
 	var sum float64
-	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+	m.VisitRange(t0, t1, func(v server.BlockView) {
 		s, _ := blockSum(v, t0, t1)
 		sum += s
 	})
-	return sum, ok
+	return sum, true
 }
 
 // Mean returns the mean reconstruction value in [t0, t1); NaN when the
 // range is empty.
 func (e *Engine) Mean(meterID uint64, t0, t1 int64) (float64, bool) {
+	m, ok := e.store.Meter(meterID)
+	if !ok {
+		return 0, false
+	}
 	var sum float64
 	var n uint64
-	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+	m.VisitRange(t0, t1, func(v server.BlockView) {
 		s, c := blockSum(v, t0, t1)
 		sum += s
 		n += c
 	})
-	if !ok {
-		return 0, false
-	}
 	if n == 0 {
 		return math.NaN(), true
 	}
@@ -329,14 +369,18 @@ func foldHistogram(h *Histogram, v server.BlockView, t0, t1 int64) error {
 func (e *Engine) HistogramInto(h *Histogram, meterID uint64, t0, t1 int64) (bool, error) {
 	h.Level = 0
 	h.Counts = h.Counts[:0]
+	m, ok := e.store.Meter(meterID)
+	if !ok {
+		return false, nil
+	}
 	var ferr error
-	ok := e.store.QueryMeter(meterID, func(v server.BlockView) {
+	m.VisitRange(t0, t1, func(v server.BlockView) {
 		if ferr != nil {
 			return
 		}
 		ferr = foldHistogram(h, v, t0, t1)
 	})
-	return ok, ferr
+	return true, ferr
 }
 
 // Histogram computes the per-symbol distribution for one meter over [t0, t1).
@@ -349,26 +393,63 @@ func (e *Engine) Histogram(meterID uint64, t0, t1 int64) (Histogram, bool, error
 	return h, ok, nil
 }
 
-// FleetAggregate computes count/sum/min/max across every meter in [t0, t1),
-// fanning one goroutine out per store shard and merging the partials.
-func (e *Engine) FleetAggregate(t0, t1 int64) Agg {
-	n := e.store.NumShards()
-	partials := make([]Agg, n)
+// forMeters runs fold over every meter handle in the store through a
+// bounded pool of nw workers pulling shards from a shared cursor. fold runs
+// on worker w for each meter; meters of one shard are processed by a single
+// worker, different shards land on different workers as they free up. This
+// is pure read-side fan-out: no shard lock is held across any of it (each
+// VisitRange inside fold locks at most briefly, for its own live tail).
+func (e *Engine) forMeters(nw int, fold func(w int, m server.Meter)) {
+	shards := e.store.NumShards()
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(w int) {
 			defer wg.Done()
-			// Accumulate locally and store once: adjacent partials[i] share
-			// cache lines across shard goroutines.
-			var a Agg
-			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
-				foldBlock(&a, v, t0, t1)
-			})
-			partials[i] = a
-		}(i)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				for _, m := range e.store.ShardMeters(i) {
+					fold(w, m)
+				}
+			}
+		}(w)
 	}
 	wg.Wait()
+}
+
+// poolSize clamps the configured worker bound to the shard count (a worker
+// per shard is the maximum useful fan-out for shard-granular work items).
+func (e *Engine) poolSize() int {
+	nw := e.workers
+	if n := e.store.NumShards(); nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
+// FleetAggregate computes count/sum/min/max across every meter in [t0, t1)
+// on the bounded worker pool, reading published indexes lock-free and
+// merging per-worker partials.
+func (e *Engine) FleetAggregate(t0, t1 int64) Agg {
+	nw := e.poolSize()
+	partials := make([]Agg, nw)
+	e.forMeters(nw, func(w int, m server.Meter) {
+		// Accumulate into a local and store once per meter: per-worker
+		// partials are written only by their worker, and the hot loop folds
+		// into a register-resident Agg.
+		a := partials[w]
+		m.VisitRange(t0, t1, func(v server.BlockView) {
+			foldBlock(&a, v, t0, t1)
+		})
+		partials[w] = a
+	})
 	var out Agg
 	for i := range partials {
 		out.merge(partials[i])
@@ -376,31 +457,24 @@ func (e *Engine) FleetAggregate(t0, t1 int64) Agg {
 	return out
 }
 
-// FleetSum returns the fleet-wide sum over [t0, t1), per-shard parallel,
-// using the sum-only fast path (summaries + byte-sum LUT edges).
+// FleetSum returns the fleet-wide sum over [t0, t1) on the bounded worker
+// pool, using the sum-only fast path (summaries + byte-sum LUT edges).
 func (e *Engine) FleetSum(t0, t1 int64) (float64, uint64) {
-	n := e.store.NumShards()
-	sums := make([]float64, n)
-	counts := make([]uint64, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			var sum float64
-			var count uint64
-			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
-				s, c := blockSum(v, t0, t1)
-				sum += s
-				count += c
-			})
-			sums[i], counts[i] = sum, count
-		}(i)
-	}
-	wg.Wait()
+	nw := e.poolSize()
+	sums := make([]float64, nw)
+	counts := make([]uint64, nw)
+	e.forMeters(nw, func(w int, m server.Meter) {
+		sum, count := sums[w], counts[w]
+		m.VisitRange(t0, t1, func(v server.BlockView) {
+			s, c := blockSum(v, t0, t1)
+			sum += s
+			count += c
+		})
+		sums[w], counts[w] = sum, count
+	})
 	var sum float64
 	var count uint64
-	for i := 0; i < n; i++ {
+	for i := 0; i < nw; i++ {
 		sum += sums[i]
 		count += counts[i]
 	}
@@ -408,27 +482,25 @@ func (e *Engine) FleetSum(t0, t1 int64) (float64, uint64) {
 }
 
 // FleetHistogram computes the fleet-wide per-symbol distribution over
-// [t0, t1), per-shard parallel. All covered blocks must share one level.
+// [t0, t1) on the bounded worker pool. All covered blocks must share one
+// level.
 func (e *Engine) FleetHistogram(t0, t1 int64) (Histogram, error) {
-	n := e.store.NumShards()
-	partials := make([]Histogram, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			e.store.QueryShard(i, func(_ uint64, v server.BlockView) {
-				if errs[i] != nil {
-					return
-				}
-				errs[i] = foldHistogram(&partials[i], v, t0, t1)
-			})
-		}(i)
-	}
-	wg.Wait()
+	nw := e.poolSize()
+	partials := make([]Histogram, nw)
+	errs := make([]error, nw)
+	e.forMeters(nw, func(w int, m server.Meter) {
+		if errs[w] != nil {
+			return
+		}
+		m.VisitRange(t0, t1, func(v server.BlockView) {
+			if errs[w] != nil {
+				return
+			}
+			errs[w] = foldHistogram(&partials[w], v, t0, t1)
+		})
+	})
 	var out Histogram
-	for i := 0; i < n; i++ {
+	for i := 0; i < nw; i++ {
 		if errs[i] != nil {
 			return Histogram{}, errs[i]
 		}

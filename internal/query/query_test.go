@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"symmeter/internal/server"
@@ -395,5 +396,200 @@ func TestQueryZeroAlloc(t *testing.T) {
 	}
 	if a := testing.AllocsPerRun(100, hist); a != 0 {
 		t.Fatalf("HistogramInto allocates %.1f times per run, want 0", a)
+	}
+}
+
+// TestPrunedQueryZeroAllocAndLockFree pins the read-path satellites
+// together: a narrow range over sealed data resolves through the published
+// time directory (no chain walk), allocates nothing in steady state, and
+// takes zero shard-lock acquisitions.
+func TestPrunedQueryZeroAllocAndLockFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st := server.NewStore(2)
+	table := randTable(t, rng, 4)
+	seedMeter(t, st, rng, 1, table, 6*server.BlockCap+50, 0, 0) // 6 sealed blocks + tail
+	e := New(st)
+	m, ok := st.Meter(1)
+	if !ok {
+		t.Fatal("meter unknown")
+	}
+	tailT, ok := m.LiveTailStart()
+	if !ok {
+		t.Fatal("no live tail")
+	}
+	const w = 900
+	t0, t1 := int64(2*server.BlockCap+7)*w, int64(3*server.BlockCap+90)*w // inside blocks 2-3
+	if t1 >= tailT {
+		t.Fatalf("test range %d reaches the tail start %d", t1, tailT)
+	}
+	before := st.QueryLockAcquisitions()
+	pruned := func() {
+		if a, ok := e.Aggregate(1, t0, t1); !ok || a.Count == 0 {
+			t.Fatal("bad pruned aggregate")
+		}
+		if s, ok := e.Sum(1, t0, t1); !ok || s == 0 {
+			t.Fatal("bad pruned sum")
+		}
+		if n, ok := e.Count(1, t0, t1); !ok || n == 0 {
+			t.Fatal("bad pruned count")
+		}
+	}
+	if a := testing.AllocsPerRun(100, pruned); a != 0 {
+		t.Fatalf("pruned sealed query allocates %.1f times per run, want 0", a)
+	}
+	var h Histogram
+	histPruned := func() {
+		if _, err := e.HistogramInto(&h, 1, t0, t1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	histPruned()
+	if a := testing.AllocsPerRun(100, histPruned); a != 0 {
+		t.Fatalf("pruned HistogramInto allocates %.1f times per run, want 0", a)
+	}
+	if locks := st.QueryLockAcquisitions() - before; locks != 0 {
+		t.Fatalf("sealed-range engine queries took %d shard locks, want 0", locks)
+	}
+	// Sanity: the same queries still agree with the oracle.
+	checkAgainstOracle(t, e, st, 1, 16, t0, t1)
+	// And a range past the tail start does pay (only) tail-fold locks.
+	if _, ok := e.Aggregate(1, t0, tailT+w); !ok {
+		t.Fatal("tail aggregate failed")
+	}
+	if locks := st.QueryLockAcquisitions() - before; locks != 1 {
+		t.Fatalf("tail-touching aggregate took %d locks, want 1", locks)
+	}
+}
+
+// TestFleetWorkerPoolEquivalence pins the bounded pool: every worker count
+// produces bit-identical integer aggregates and tolerance-identical sums,
+// whether smaller, equal to, or larger than the shard count.
+func TestFleetWorkerPoolEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	st := server.NewStore(8)
+	for m := 1; m <= 23; m++ {
+		seedMeter(t, st, rng, uint64(m), randTable(t, rng, 4), 200+rng.Intn(900), 8, 0)
+	}
+	e := New(st)
+	t0, t1 := int64(50*900), int64(800*900)
+	ref := e.FleetAggregate(t0, t1)
+	refSum, refCount := e.FleetSum(t0, t1)
+	refHist, err := e.FleetHistogram(t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		e.SetWorkers(workers)
+		a := e.FleetAggregate(t0, t1)
+		if a.Count != ref.Count || a.Min != ref.Min || a.Max != ref.Max || relDiff(a.Sum, ref.Sum) > 1e-9 {
+			t.Fatalf("workers=%d: FleetAggregate %+v, want %+v", workers, a, ref)
+		}
+		sum, count := e.FleetSum(t0, t1)
+		if count != refCount || relDiff(sum, refSum) > 1e-9 {
+			t.Fatalf("workers=%d: FleetSum %v/%d, want %v/%d", workers, sum, count, refSum, refCount)
+		}
+		h, err := e.FleetHistogram(t0, t1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range refHist.Counts {
+			if h.Counts[s] != refHist.Counts[s] {
+				t.Fatalf("workers=%d: hist[%d] = %d, want %d", workers, s, h.Counts[s], refHist.Counts[s])
+			}
+		}
+	}
+}
+
+// TestFleetQueryDuringIngest is the engine-level mixed-workload stress
+// (-race): fleet aggregates and per-meter histograms run concurrently with
+// appends that keep sealing and publishing blocks. Fleet counts over a
+// fixed range must never go backwards (lost publications), and the final
+// quiescent result must match the per-meter merge exactly.
+func TestFleetQueryDuringIngest(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st := server.NewStore(4)
+	const meters = 6
+	const batches = 50
+	const batchPts = 40
+	tables := make([]*symbolic.Table, meters+1)
+	for m := 1; m <= meters; m++ {
+		tables[m] = randTable(t, rng, 4)
+		if err := st.StartSession(uint64(m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PushTable(uint64(m), tables[m]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(st)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for m := 1; m <= meters; m++ {
+		writers.Add(1)
+		go func(id uint64) {
+			defer writers.Done()
+			table := tables[id]
+			var ts int64
+			for b := 0; b < batches; b++ {
+				pts := make([]symbolic.SymbolPoint, batchPts)
+				for i := range pts {
+					pts[i] = symbolic.SymbolPoint{T: ts, S: symbolic.NewSymbol(int(ts/900)%16, 4)}
+					ts += 900
+				}
+				if b%9 == 4 {
+					ts += 4 * 900 // gap: seal + publish mid-stream
+				}
+				if _, err := st.Append(id, pts); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = table
+			}
+		}(uint64(m))
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			e := New(st)
+			e.SetWorkers(1 + r)
+			var lastCount uint64
+			var h Histogram
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := e.FleetAggregate(0, 1<<60)
+				if a.Count < lastCount {
+					t.Errorf("fleet count went backwards: %d -> %d", lastCount, a.Count)
+					return
+				}
+				lastCount = a.Count
+				if _, err := e.HistogramInto(&h, uint64(i%meters+1), 0, 1<<60); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	var want Agg
+	for m := 1; m <= meters; m++ {
+		a, ok := e.Aggregate(uint64(m), 0, 1<<60)
+		if !ok {
+			t.Fatalf("meter %d unknown", m)
+		}
+		want.merge(a)
+	}
+	got := e.FleetAggregate(0, 1<<60)
+	if got.Count != uint64(meters*batches*batchPts) {
+		t.Fatalf("final fleet count = %d, want %d", got.Count, meters*batches*batchPts)
+	}
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max || relDiff(got.Sum, want.Sum) > 1e-9 {
+		t.Fatalf("fleet %+v != merged per-meter %+v", got, want)
 	}
 }

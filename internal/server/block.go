@@ -191,22 +191,3 @@ type BlockView struct {
 
 // LastT returns the timestamp of the view's last point.
 func (v BlockView) LastT() int64 { return v.FirstT + int64(v.N-1)*v.Stride }
-
-// view builds the visitor view for a block under its meter's tables.
-func (e *meterEntry) view(b *block) BlockView {
-	table := e.tables[b.epoch]
-	return BlockView{
-		FirstT:   b.firstT,
-		Stride:   b.stride,
-		N:        int(b.n),
-		Level:    int(b.level),
-		Epoch:    int(b.epoch),
-		Payload:  b.payload,
-		Hist:     b.hist,
-		Sum:      b.sum,
-		MinV:     b.minV,
-		MaxV:     b.maxV,
-		Values:   table.ReconstructionValues(),
-		ByteSums: table.ByteSums(),
-	}
-}

@@ -8,9 +8,10 @@
 // Layering: internal/transport owns the wire format (frames, handshake,
 // Decoder); this package owns connection lifecycle (Service), per-meter
 // decoding state (session) and the shared mutable state (Store — packed
-// block chains, see block.go). internal/query answers aggregates on top of
-// the Store's visitor API. A Fleet driver simulates M meters streaming
-// concurrently over real TCP for load generation and benchmarks.
+// block chains, see block.go; lock-free published read path, see index.go).
+// internal/query answers aggregates on top of the Store's Meter handles. A
+// Fleet driver simulates M meters streaming concurrently over real TCP for
+// load generation and benchmarks.
 package server
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"symmeter/internal/symbolic"
@@ -60,8 +62,9 @@ type MeterState struct {
 
 // meterEntry guards one meter's state inside a shard. Symbols live in a
 // chain of packed blocks; only the last block (the tail) is ever mutated,
-// so readers that copied the chain header under the lock may read every
-// sealed block after releasing it.
+// and the sealed prefix is republished through the atomic idx pointer at
+// each seal (see index.go), so queries read everything but the tail without
+// any lock at all.
 type meterEntry struct {
 	id       uint64
 	tables   []*symbolic.Table
@@ -69,7 +72,23 @@ type meterEntry struct {
 	active   bool
 
 	blocks []block
-	total  int // symbols across all blocks
+
+	// idx is the RCU-published sealed-chain index: swapped by the writer at
+	// seal time, loaded by readers without the shard lock. Never nil (points
+	// at emptyIndex until the first seal).
+	idx atomic.Pointer[sealedIndex]
+	// dirFirst backs the published time directory: one firstT per sealed
+	// block, appended at seal time; published indexes hold length-capped
+	// prefixes of it.
+	dirFirst []int64
+	// tailFirstT is the live tail's first timestamp, or noTail while the
+	// meter has no unsealed points. Stored before the tail's first push and
+	// after the index swap, so VisitRange's double-load can prove a query
+	// range cannot reach the tail without locking.
+	tailFirstT atomic.Int64
+	// total is the symbol count across all blocks, tail included: written
+	// under the shard lock, loaded lock-free by TotalSymbols.
+	total atomic.Int64
 
 	// Arena capacity carved into new blocks so a Reserve'd meter appends
 	// without allocating. pendingReserve parks a Reserve that arrived before
@@ -79,11 +98,14 @@ type meterEntry struct {
 	// trimmed, so MemoryFootprint counts slabs whole, never remainders.
 	payloadArena   []byte
 	histArena      []uint32
+	idxArena       []sealedIndex
 	arenaBytes     int64
 	pendingReserve int
 }
 
-// tail returns the mutable last block, or nil when the chain is empty.
+// tail returns the mutable last block, or nil when the chain is empty. By
+// construction the last block is always the unsealed tail: a block only
+// seals at the instant its successor is created.
 func (e *meterEntry) tail() *block {
 	if len(e.blocks) == 0 {
 		return nil
@@ -124,8 +146,12 @@ func (e *meterEntry) newBlock(epoch uint32, level, k int) *block {
 	return &e.blocks[len(e.blocks)-1]
 }
 
-// reserveLocked sizes the arenas and block slice for n more points under the
-// meter's current table.
+// idxMeta is the resident cost of one published index struct.
+const idxMeta = int64(unsafe.Sizeof(sealedIndex{}))
+
+// reserveLocked sizes the arenas, block slice, time directory and index
+// arena for n more points under the meter's current table, so the whole
+// append-and-seal-and-publish cycle runs allocation-free.
 func (e *meterEntry) reserveLocked(n int) {
 	table := e.tables[len(e.tables)-1]
 	level, k := table.Level(), table.K()
@@ -140,13 +166,32 @@ func (e *meterEntry) reserveLocked(n int) {
 			e.arenaBytes += 4 * int64(need)
 		}
 	}
+	if len(e.idxArena) < nb {
+		e.idxArena = make([]sealedIndex, nb)
+		e.arenaBytes += int64(nb) * idxMeta
+	}
 	e.blocks = slices.Grow(e.blocks, nb)
+	e.dirFirst = slices.Grow(e.dirFirst, nb)
 }
 
-// shard is one lock domain of the store.
+// shard is one lock domain of the store. The lock serializes writers (and
+// the brief tail folds of readers); the published dir and each meter's
+// published index serve everything else without it.
 type shard struct {
-	mu     sync.RWMutex
-	meters map[uint64]*meterEntry
+	mu sync.RWMutex
+	// dir is the published meter directory, swapped copy-on-write under mu
+	// whenever a meter registers. Never nil (points at emptyShardDir).
+	dir atomic.Pointer[shardDir]
+	// queryLocks counts read-path shard-lock acquisitions (live-tail folds
+	// and nothing else) — the measured basis for the "sealed-data queries
+	// take zero locks" contract.
+	queryLocks atomic.Int64
+}
+
+// meter returns the shard's entry for the ID, or nil. Safe with or without
+// the shard lock: the lookup goes through the published directory.
+func (sh *shard) meter(meterID uint64) *meterEntry {
+	return sh.dir.Load().meters[meterID]
 }
 
 // Store is a sharded in-memory aggregation store. Meters are assigned to
@@ -164,7 +209,7 @@ func NewStore(n int) *Store {
 	}
 	s := &Store{shards: make([]shard, n)}
 	for i := range s.shards {
-		s.shards[i].meters = make(map[uint64]*meterEntry)
+		s.shards[i].dir.Store(&emptyShardDir)
 	}
 	return s
 }
@@ -194,6 +239,37 @@ func (s *Store) shardOf(meterID uint64) *shard {
 	return &s.shards[s.ShardFor(meterID)]
 }
 
+// Meter returns a lock-free handle to the meter's published state, and
+// whether the meter exists. The lookup reads the shard's published
+// directory — no lock is taken.
+func (s *Store) Meter(meterID uint64) (Meter, bool) {
+	sh := s.shardOf(meterID)
+	e := sh.meter(meterID)
+	if e == nil {
+		return Meter{}, false
+	}
+	return Meter{e: e, sh: sh}, true
+}
+
+// ShardMeters returns the published meter handles of one shard, in
+// registration order, without locking. The slice is shared and read-only;
+// callers must not mutate or retain it past the query.
+func (s *Store) ShardMeters(shardIdx int) []Meter {
+	return s.shards[shardIdx].dir.Load().list
+}
+
+// QueryLockAcquisitions returns how many times the read path has taken a
+// shard lock (live-tail folds) since the store was created. Queries that
+// cover only sealed data leave it untouched — the measurable form of the
+// lock-free read contract.
+func (s *Store) QueryLockAcquisitions() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].queryLocks.Load()
+	}
+	return n
+}
+
 // StartSession registers a live session for the meter, creating its state
 // on first contact. A second concurrent session for the same ID is refused
 // with ErrDuplicateMeter — the wire protocol has no way to interleave two
@@ -203,10 +279,21 @@ func (s *Store) StartSession(meterID uint64) error {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		e = &meterEntry{id: meterID}
-		sh.meters[meterID] = e
+		e.idx.Store(&emptyIndex)
+		e.tailFirstT.Store(noTail)
+		// Republish the shard directory with the newcomer: the map is copied
+		// (concurrent lock-free lookups may be reading the old one), the list
+		// extends append-only.
+		old := sh.dir.Load()
+		m := make(map[uint64]*meterEntry, len(old.meters)+1)
+		for id, me := range old.meters {
+			m[id] = me
+		}
+		m[meterID] = e
+		sh.dir.Store(&shardDir{meters: m, list: append(old.list, Meter{e: e, sh: sh})})
 	}
 	if e.active {
 		return fmt.Errorf("%w: %d", ErrDuplicateMeter, meterID)
@@ -223,7 +310,7 @@ func (s *Store) EndSession(meterID uint64) {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e := sh.meters[meterID]; e != nil {
+	if e := sh.meter(meterID); e != nil {
 		e.active = false
 	}
 }
@@ -234,7 +321,7 @@ func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
@@ -257,12 +344,13 @@ var ErrBadSymbol = errors.New("server: symbol level does not match table")
 // committed, so an error never leaves a partially-appended batch. Each point
 // costs one bit-pack into the tail block plus O(1) summary updates; a point
 // that breaks the tail's timestamp stride (a gap) or arrives under a new
-// epoch seals the tail and opens a fresh block.
+// epoch seals the tail, publishes the sealed index (the single point where
+// the lock-free read path learns about new data), and opens a fresh block.
 func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
@@ -284,14 +372,21 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 	for _, sp := range pts {
 		if tail == nil || !tail.accepts(sp.T, epoch) {
 			if tail != nil {
+				// Trim before publishing: a block must never mutate after the
+				// index that contains it is visible to lock-free readers.
 				tail.seal()
+				e.publish()
 			}
 			tail = e.newBlock(epoch, level, k)
+			// Publish the new tail's start before its first point lands, so
+			// a lock-free reader that proves a stable index generation can
+			// trust this bound (see Meter.VisitRange).
+			e.tailFirstT.Store(sp.T)
 		}
 		idx := uint32(sp.S.Index())
 		tail.push(sp.T, idx, values[idx])
 	}
-	e.total += len(pts)
+	e.total.Add(int64(len(pts)))
 	return len(pts), nil
 }
 
@@ -305,7 +400,7 @@ func (s *Store) Reserve(meterID uint64, n int) error {
 	sh := s.shardOf(meterID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
 	}
@@ -328,7 +423,7 @@ func (s *Store) Reserve(meterID uint64, n int) error {
 func (s *Store) Snapshot(meterID uint64) (MeterState, bool) {
 	sh := s.shardOf(meterID)
 	sh.mu.RLock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		sh.mu.RUnlock()
 		return MeterState{}, false
@@ -336,7 +431,7 @@ func (s *Store) Snapshot(meterID uint64) (MeterState, bool) {
 	st := MeterState{ID: e.id, Sessions: e.sessions}
 	st.Tables = append([]*symbolic.Table(nil), e.tables...)
 	blocks := e.blocks
-	total := e.total
+	total := int(e.total.Load())
 	var tailCopy block
 	if len(blocks) > 0 {
 		// The tail keeps growing after we unlock; freeze its summary and the
@@ -375,90 +470,76 @@ func appendBlockPoints(dst []ReconPoint, b *block, tables []*symbolic.Table, scr
 // QueryMeter invokes fn for each non-empty block of the meter in append
 // order, under the shard read lock, and reports whether the meter exists.
 // fn must be pure computation over the view — no blocking, no retaining of
-// the view's slices (see BlockView).
+// the view's slices (see BlockView). This is the full-chain compatibility
+// walk; range queries should go through Meter.VisitRange, which reads
+// sealed data lock-free and prunes via the time directory.
 func (s *Store) QueryMeter(meterID uint64, fn func(BlockView)) bool {
 	sh := s.shardOf(meterID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	e := sh.meters[meterID]
+	e := sh.meter(meterID)
 	if e == nil {
 		return false
 	}
-	e.visit(fn)
-	return true
-}
-
-func (e *meterEntry) visit(fn func(BlockView)) {
 	for i := range e.blocks {
 		if e.blocks[i].n == 0 {
 			continue
 		}
 		fn(e.view(&e.blocks[i]))
 	}
+	return true
 }
 
-// QueryShard invokes fn for each non-empty block of every meter assigned to
-// the given shard, under that shard's read lock. Fleet-wide scans fan one
-// goroutine out per shard over this, so they touch each lock exactly once
-// and scale across cores like ingest does.
-func (s *Store) QueryShard(shardIdx int, fn func(meterID uint64, v BlockView)) {
-	sh := &s.shards[shardIdx]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	for id, e := range sh.meters {
-		for i := range e.blocks {
-			if e.blocks[i].n == 0 {
-				continue
-			}
-			fn(id, e.view(&e.blocks[i]))
-		}
-	}
+// view builds the visitor view for a block under the meter's live tables
+// (callers hold the shard lock).
+func (e *meterEntry) view(b *block) BlockView {
+	return viewOf(b, e.tables)
 }
 
 // Meters returns the IDs of every meter the store has seen, in no
-// particular order.
+// particular order, reading only the published shard directories — no shard
+// lock is taken.
 func (s *Store) Meters() []uint64 {
 	var ids []uint64
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for id := range sh.meters {
-			ids = append(ids, id)
+		for _, m := range s.shards[i].dir.Load().list {
+			ids = append(ids, m.ID())
 		}
-		sh.mu.RUnlock()
 	}
 	return ids
 }
 
-// TotalSymbols returns the number of stored points across all meters.
+// TotalSymbols returns the number of stored points across all meters,
+// reading only published state — no shard lock is taken. Concurrent appends
+// may or may not be included, exactly as with any racing counter read.
 func (s *Store) TotalSymbols() int {
 	total := 0
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, e := range sh.meters {
-			total += e.total
+		for _, m := range s.shards[i].dir.Load().list {
+			total += m.TotalSymbols()
 		}
-		sh.mu.RUnlock()
 	}
 	return total
 }
 
 // MemoryFootprint returns the resident bytes attributable to point storage
 // and the number of stored points — the measured basis for the
-// bytes-per-point claim in BENCH_3. Reserve arenas are counted at their
-// full allocated size (carved regions stay resident for the slab's
-// lifetime, trimmed or not); blocks add their metadata plus any payload or
-// histogram they own outside an arena. Table and map overhead is excluded:
-// both exist identically in any storage scheme.
+// bytes-per-point claim in BENCH_4. Reserve arenas (payload, histogram and
+// index-struct slabs) are counted at their full allocated size (carved
+// regions stay resident for the slab's lifetime, trimmed or not); blocks add
+// their metadata plus any payload or histogram they own outside an arena;
+// the time directory adds 8 bytes per slot of its capacity. Table and map
+// overhead is excluded: both exist identically in any storage scheme.
 func (s *Store) MemoryFootprint() (bytes, points int64) {
 	const blockMeta = int64(unsafe.Sizeof(block{}))
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for _, e := range sh.meters {
-			points += int64(e.total)
+		for _, m := range sh.dir.Load().list {
+			e := m.e
+			points += e.total.Load()
 			bytes += e.arenaBytes
+			bytes += 8 * int64(cap(e.dirFirst))
 			for j := range e.blocks {
 				b := &e.blocks[j]
 				bytes += blockMeta

@@ -549,3 +549,257 @@ func TestReserveBeforeTable(t *testing.T) {
 		t.Fatalf("Append after parked Reserve allocates %.1f times per run, want 0", allocs)
 	}
 }
+
+// --- Lock-free read path (RCU-published sealed index) ---------------------
+
+// seedRegular streams n regularly-strided points (window w) into meter id,
+// in batches of 96, returning the first timestamp past the stream.
+func seedRegular(t *testing.T, s *Store, table *symbolic.Table, id uint64, n int, w int64) int64 {
+	t.Helper()
+	if err := s.StartSession(id); err != nil {
+		t.Fatal(err)
+	}
+	defer s.EndSession(id)
+	if err := s.PushTable(id, table); err != nil {
+		t.Fatal(err)
+	}
+	var ts int64
+	for sent := 0; sent < n; {
+		batch := 96
+		if batch > n-sent {
+			batch = n - sent
+		}
+		pts := make([]symbolic.SymbolPoint, batch)
+		for i := range pts {
+			pts[i] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64((sent + i) % 997))}
+			ts += w
+		}
+		if _, err := s.Append(id, pts); err != nil {
+			t.Fatal(err)
+		}
+		sent += batch
+	}
+	return ts
+}
+
+// TestSealedReadsLockFree pins the tentpole contract: a range query that
+// ends before the live tail's first timestamp reads only the published
+// index and takes zero shard-lock acquisitions; a range reaching the tail
+// takes exactly the brief tail-fold lock. Meters and TotalSymbols read
+// published state and never lock either.
+func TestSealedReadsLockFree(t *testing.T) {
+	s := NewStore(2)
+	table := testTable(t)
+	const w = 900
+	seedRegular(t, s, table, 1, 4*BlockCap+100, w) // 4 sealed blocks + live tail
+	m, ok := s.Meter(1)
+	if !ok {
+		t.Fatal("meter unknown")
+	}
+	if got := m.SealedBlocks(); got != 4 {
+		t.Fatalf("sealed blocks = %d, want 4", got)
+	}
+	tailT, ok := m.LiveTailStart()
+	if !ok {
+		t.Fatal("no live tail")
+	}
+	if want := int64(4*BlockCap) * w; tailT != want {
+		t.Fatalf("tail start = %d, want %d", tailT, want)
+	}
+
+	before := s.QueryLockAcquisitions()
+	var pts int
+	m.VisitRange(0, tailT, func(v BlockView) { pts += v.N })
+	if pts != 4*BlockCap {
+		t.Fatalf("sealed range saw %d points, want %d", pts, 4*BlockCap)
+	}
+	s.Meters()
+	s.TotalSymbols()
+	if got := s.QueryLockAcquisitions(); got != before {
+		t.Fatalf("sealed-only reads took %d shard locks, want 0", got-before)
+	}
+
+	// A range reaching past the tail start folds the tail under one lock.
+	pts = 0
+	m.VisitRange(0, tailT+1, func(v BlockView) { pts += v.N })
+	if pts != 4*BlockCap+100 {
+		t.Fatalf("tail-touching range saw %d points, want %d", pts, 4*BlockCap+100)
+	}
+	if got := s.QueryLockAcquisitions() - before; got != 1 {
+		t.Fatalf("tail-touching query took %d locks, want 1", got)
+	}
+}
+
+// TestTimeDirectoryPrunes pins the O(log B + blocks in range) contract: a
+// narrow range over a long time-ordered chain visits only the blocks whose
+// span intersects it, not the whole chain; and a chain that replays old
+// timestamps loses orderedness but none of its points.
+func TestTimeDirectoryPrunes(t *testing.T) {
+	s := NewStore(1)
+	table := testTable(t)
+	const w = 900
+	const nBlocks = 64
+	seedRegular(t, s, table, 1, nBlocks*BlockCap+10, w)
+	m, _ := s.Meter(1)
+	if !m.TimeOrdered() {
+		t.Fatal("regular stream not time-ordered")
+	}
+	// One block's interior: indices inside sealed block 10.
+	t0 := int64(10*BlockCap+5) * w
+	t1 := int64(10*BlockCap+50) * w
+	visited := 0
+	m.VisitRange(t0, t1, func(v BlockView) { visited++ })
+	if visited != 1 {
+		t.Fatalf("1-block range visited %d blocks, want 1 (directory not pruning)", visited)
+	}
+	// A range straddling two block boundaries visits exactly three blocks.
+	visited = 0
+	m.VisitRange(int64(9*BlockCap+100)*w, int64(11*BlockCap+100)*w, func(v BlockView) { visited++ })
+	if visited != 3 {
+		t.Fatalf("3-block range visited %d blocks, want 3", visited)
+	}
+	// Before-the-stream and after-the-sealed-chain ranges visit nothing
+	// sealed (the latter pays the tail fold only).
+	visited = 0
+	m.VisitRange(-1000, -1, func(v BlockView) { visited++ })
+	if visited != 0 {
+		t.Fatalf("pre-stream range visited %d blocks, want 0", visited)
+	}
+
+	// Replayed old timestamps: orderedness is lost, correctness is not.
+	if _, err := s.Append(1, []symbolic.SymbolPoint{{T: 3, S: table.Encode(1)}, {T: 5, S: table.Encode(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(1, []symbolic.SymbolPoint{{T: int64(nBlocks*BlockCap+20) * w, S: table.Encode(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeOrdered() {
+		t.Fatal("replayed timestamps left the chain marked time-ordered")
+	}
+	got := 0
+	m.VisitRange(0, int64(1<<40), func(v BlockView) {
+		i0, i1 := 0, v.N
+		if v.FirstT >= 1<<40 {
+			i0 = i1
+		}
+		got += i1 - i0
+	})
+	if want := nBlocks*BlockCap + 10 + 3; got != want {
+		t.Fatalf("unordered chain query saw %d points, want %d", got, want)
+	}
+}
+
+// TestConcurrentPublishStress is the -race pin for the publication
+// protocol: concurrent Append (sealing and publishing), PushTable (epoch
+// changes), lock-free VisitRange readers, Snapshot reconstruction and the
+// published-directory readers (Meters/TotalSymbols) all hammer the same two
+// shards. Readers check per-meter full-range counts never go backwards (a
+// torn publication would lose sealed blocks) and every view is internally
+// consistent.
+func TestConcurrentPublishStress(t *testing.T) {
+	s := NewStore(2) // few shards: force meters to collide on locks
+	table := testTable(t)
+	const meters = 8
+	const batches = 60
+	const batchPts = 32
+	var writers, readers sync.WaitGroup
+	for id := uint64(1); id <= meters; id++ {
+		if err := s.StartSession(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PushTable(id, table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	for id := uint64(1); id <= meters; id++ {
+		writers.Add(1)
+		go func(id uint64) {
+			defer writers.Done()
+			var ts int64
+			for b := 0; b < batches; b++ {
+				pts := make([]symbolic.SymbolPoint, batchPts)
+				for i := range pts {
+					pts[i] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(i))}
+					ts += 60
+				}
+				if b%7 == 3 {
+					ts += 600 // gap: forces a seal + publish
+				}
+				if b%13 == 5 {
+					if err := s.PushTable(id, table); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if _, err := s.Append(id, pts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			last := make(map[uint64]int)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(i%meters + 1)
+				m, ok := s.Meter(id)
+				if !ok {
+					t.Errorf("meter %d vanished", id)
+					return
+				}
+				n := 0
+				m.VisitRange(-1, 1<<62, func(v BlockView) {
+					if v.N <= 0 || v.LastT() < v.FirstT {
+						t.Errorf("inconsistent view: n=%d firstT=%d lastT=%d", v.N, v.FirstT, v.LastT())
+					}
+					n += v.N
+				})
+				if n < last[id] {
+					t.Errorf("meter %d count went backwards: %d -> %d", id, last[id], n)
+					return
+				}
+				last[id] = n
+				if r == 0 {
+					s.TotalSymbols()
+					s.Meters()
+				}
+				if r == 1 && i%5 == 0 {
+					if st, ok := s.Snapshot(id); ok {
+						for j := 1; j < len(st.Points); j++ {
+							_ = st.Points[j]
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	for id := uint64(1); id <= meters; id++ {
+		s.EndSession(id)
+	}
+	if got, want := s.TotalSymbols(), meters*batches*batchPts; got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	// Post-quiescence: lock-free counts equal snapshot reconstruction.
+	for id := uint64(1); id <= meters; id++ {
+		m, _ := s.Meter(id)
+		st, _ := s.Snapshot(id)
+		if m.TotalSymbols() != len(st.Points) {
+			t.Fatalf("meter %d: published total %d, snapshot %d", id, m.TotalSymbols(), len(st.Points))
+		}
+		if m.SealedSymbols() > m.TotalSymbols() {
+			t.Fatalf("meter %d: sealed %d > total %d", id, m.SealedSymbols(), m.TotalSymbols())
+		}
+	}
+}
