@@ -25,6 +25,7 @@ import (
 	"symmeter/internal/sax"
 	"symmeter/internal/server"
 	"symmeter/internal/stats"
+	"symmeter/internal/storage"
 	"symmeter/internal/symbolic"
 	"symmeter/internal/timeseries"
 	"symmeter/internal/transport"
@@ -504,6 +505,53 @@ func BenchmarkStoreAppend(b *testing.B) {
 		pts[i] = symbolic.SymbolPoint{T: int64(i) * 900, S: table.Encode(float64(i * 11 % 4000))}
 	}
 	benchref.BenchStoreAppend(b, table, pts)
+}
+
+// BenchmarkPersistAppend is BenchmarkStoreAppend through the full durable
+// path: WAL framing + write(2) + packed-store commit + seal-time segment
+// spill (fsync off — the write(2)-before-ack durability floor).
+func BenchmarkPersistAppend(b *testing.B) {
+	benchref.BenchPersistAppend(b, storage.SyncOff)
+}
+
+// BenchmarkPersistIngestLatency reports per-Append p50/p99 through the WAL
+// at each fsync mode.
+func BenchmarkPersistIngestLatency(b *testing.B) {
+	for _, mode := range []storage.SyncMode{storage.SyncOff, storage.SyncGroup, storage.SyncAlways} {
+		b.Run("fsync="+mode.String(), func(b *testing.B) {
+			benchref.BenchPersistIngestLatency(b, mode)
+		})
+	}
+}
+
+// BenchmarkRecovery measures storage.Open rebuilding the query fixture from
+// each directory shape: finished segments (clean shutdown) vs pure WAL
+// replay (crash).
+func BenchmarkRecovery(b *testing.B) {
+	b.Run("segments", func(b *testing.B) {
+		benchref.BenchRecovery(b, benchref.QueryFixtureMeters, benchref.QueryFixturePoints, true)
+	})
+	b.Run("replay", func(b *testing.B) {
+		benchref.BenchRecovery(b, benchref.QueryFixtureMeters, benchref.QueryFixturePoints, false)
+	})
+}
+
+// BenchmarkColdQuery runs the compressed-domain queries over a store whose
+// sealed payloads live in mmapped segment files — the cold-read path.
+func BenchmarkColdQuery(b *testing.B) {
+	eng, err := benchref.MakePersistStore(b.TempDir(), benchref.QueryFixtureMeters, benchref.QueryFixturePoints, storage.SyncOff)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	total := benchref.QueryFixtureMeters * benchref.QueryFixturePoints
+	qe := query.New(eng.Store())
+	b.Run("fleet-sum", func(b *testing.B) { benchref.BenchQueryFleetSum(b, qe, total) })
+	wt0, wt1, wpts := benchref.QueryWindow()
+	b.Run("meter-window", func(b *testing.B) { benchref.BenchQueryMeterWindow(b, qe, 1, wt0, wt1, wpts) })
 }
 
 // BenchmarkSAXEncode measures the SAX baseline on one day of hourly data.

@@ -6,7 +6,7 @@
 // results as JSON, so every PR's perf trajectory is recorded as an artifact
 // instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_4.json
+//	bench                         # writes BENCH_5.json
 //	bench -out /tmp/b.json -benchtime 100ms
 //	bench -cpuprofile cpu.out     # profile the query path
 //
@@ -14,9 +14,13 @@
 // the speedup of each kernel over its baseline (pack/unpack floors at 4x;
 // the compressed-domain query floor is 5x over decode-then-aggregate), the
 // store's measured resident bytes per point against the 24-byte ReconPoint
-// layout it replaced (floor: 10x reduction), and a mixed section: fleet
-// query throughput per worker-pool bound under live background ingest, and
-// ingest p50/p99 latency with and without concurrent slow readers.
+// layout it replaced (floor: 10x reduction), a mixed section (fleet query
+// throughput per worker-pool bound under live background ingest, ingest
+// p50/p99 latency with and without concurrent slow readers), and — since
+// schema 5 — a persist section: ingest latency through the write-ahead log
+// per fsync mode (with the WAL-off/in-memory p50 ratio the 2x acceptance
+// bound reads), recovery throughput from finished segments vs pure WAL
+// replay, and cold queries over mmap-backed spilled blocks.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"symmeter/internal/benchref"
 	"symmeter/internal/profiling"
 	"symmeter/internal/query"
+	"symmeter/internal/storage"
 	"symmeter/internal/symbolic"
 )
 
@@ -74,7 +79,24 @@ type MixedStats struct {
 	IngestP99ReadersNs    float64      `json:"ingest_p99_readers_ns"`
 }
 
-// Report is the BENCH_4.json document.
+// PersistStats is the durability section: WAL ingest latency per fsync
+// mode, the WAL-off-to-in-memory p50 ratio (acceptance bound: ≤ 2), and the
+// on-disk footprint of the persisted query fixture. Recovery and cold-query
+// throughput live in Results as persist/* entries.
+type PersistStats struct {
+	IngestP50WALOffNs    float64 `json:"ingest_p50_wal_off_ns"`
+	IngestP99WALOffNs    float64 `json:"ingest_p99_wal_off_ns"`
+	IngestP50WALGroupNs  float64 `json:"ingest_p50_wal_group_ns"`
+	IngestP99WALGroupNs  float64 `json:"ingest_p99_wal_group_ns"`
+	IngestP50WALAlwaysNs float64 `json:"ingest_p50_wal_always_ns"`
+	IngestP99WALAlwaysNs float64 `json:"ingest_p99_wal_always_ns"`
+	WALOffOverMemP50     float64 `json:"wal_off_over_mem_p50"`
+	WALBytes             int64   `json:"wal_bytes"`
+	SegmentBytes         int64   `json:"segment_bytes"`
+	ResidentBytesPerPt   float64 `json:"resident_bytes_per_point"`
+}
+
+// Report is the BENCH_5.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
@@ -85,6 +107,7 @@ type Report struct {
 	Speedups map[string]float64 `json:"speedup_vs_baseline"`
 	Memory   MemoryStats        `json:"memory"`
 	Mixed    MixedStats         `json:"mixed"`
+	Persist  PersistStats       `json:"persist"`
 }
 
 func main() {
@@ -97,7 +120,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath    = fs.String("out", "BENCH_4.json", "output JSON path")
+		outPath    = fs.String("out", "BENCH_5.json", "output JSON path")
 		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -121,7 +144,7 @@ func run(args []string, out io.Writer) error {
 	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/4",
+		Schema:   "symmeter-bench/5",
 		Go:       runtime.Version(),
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
@@ -236,14 +259,88 @@ func run(args []string, out io.Writer) error {
 		rep.Mixed.FleetQueryUnderIngest = append(rep.Mixed.FleetQueryUnderIngest, WorkerRate{Workers: workers, QueriesPerSec: rate})
 		fmt.Fprintf(out, "mixed/fleet-agg workers=%d %31.1f queries/s under live ingest\n", workers, rate)
 	}
-	solo := testing.Benchmark(func(b *testing.B) { benchref.BenchIngestLatency(b, 0) })
-	withReaders := testing.Benchmark(func(b *testing.B) { benchref.BenchIngestLatency(b, 4) })
+	// Latency percentiles get the same best-of-three treatment as the
+	// throughput numbers: a single run's p50 swings with scheduler and CPU
+	// state, and the WAL-off/in-memory ratio below divides two of them.
+	bestLatency := func(f func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		for i := 0; i < 2; i++ {
+			if again := testing.Benchmark(f); again.Extra["p50-ns"] < r.Extra["p50-ns"] {
+				r = again
+			}
+		}
+		return r
+	}
+	solo := bestLatency(func(b *testing.B) { benchref.BenchIngestLatency(b, 0) })
+	withReaders := bestLatency(func(b *testing.B) { benchref.BenchIngestLatency(b, 4) })
 	rep.Mixed.IngestP50SoloNs = solo.Extra["p50-ns"]
 	rep.Mixed.IngestP99SoloNs = solo.Extra["p99-ns"]
 	rep.Mixed.IngestP50ReadersNs = withReaders.Extra["p50-ns"]
 	rep.Mixed.IngestP99ReadersNs = withReaders.Extra["p99-ns"]
 	fmt.Fprintf(out, "mixed/ingest-latency solo p50 %.0f ns, p99 %.0f ns; under 4 readers p50 %.0f ns, p99 %.0f ns\n",
 		rep.Mixed.IngestP50SoloNs, rep.Mixed.IngestP99SoloNs, rep.Mixed.IngestP50ReadersNs, rep.Mixed.IngestP99ReadersNs)
+
+	// Persistence: the same workloads through the WAL + segment engine.
+	// Ingest latency per fsync mode (the WAL-off p50 is the acceptance-gated
+	// one: ≤ 2x the same-run in-memory solo p50), recovery throughput from
+	// both directory shapes, and cold queries over the spilled fixture.
+	record("persist/append-batch96", n, func(b *testing.B) { benchref.BenchPersistAppend(b, storage.SyncOff) })
+	for _, m := range []struct {
+		mode storage.SyncMode
+		p50  *float64
+		p99  *float64
+	}{
+		{storage.SyncOff, &rep.Persist.IngestP50WALOffNs, &rep.Persist.IngestP99WALOffNs},
+		{storage.SyncGroup, &rep.Persist.IngestP50WALGroupNs, &rep.Persist.IngestP99WALGroupNs},
+		{storage.SyncAlways, &rep.Persist.IngestP50WALAlwaysNs, &rep.Persist.IngestP99WALAlwaysNs},
+	} {
+		r := bestLatency(func(b *testing.B) { benchref.BenchPersistIngestLatency(b, m.mode) })
+		*m.p50, *m.p99 = r.Extra["p50-ns"], r.Extra["p99-ns"]
+		fmt.Fprintf(out, "persist/ingest-latency fsync=%-6s %17.0f p50-ns %12.0f p99-ns\n", m.mode, *m.p50, *m.p99)
+	}
+	if memP50 := rep.Mixed.IngestP50SoloNs; memP50 > 0 {
+		rep.Persist.WALOffOverMemP50 = rep.Persist.IngestP50WALOffNs / memP50
+		fmt.Fprintf(out, "persist/ingest p50 with WAL (fsync=off) is %.2fx the in-memory p50 (bound: 2x)\n",
+			rep.Persist.WALOffOverMemP50)
+	}
+	record("persist/recover-segments", total, func(b *testing.B) {
+		benchref.BenchRecovery(b, meters, perMeter, true)
+	})
+	record("persist/recover-replay", total, func(b *testing.B) {
+		benchref.BenchRecovery(b, meters, perMeter, false)
+	})
+	persistDir, err := os.MkdirTemp("", "symmeter-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(persistDir)
+	peng, err := benchref.MakePersistStore(persistDir, meters, perMeter, storage.SyncOff)
+	if err != nil {
+		return err
+	}
+	defer peng.Close()
+	// Flush first: segments are footed and truncated to their real length,
+	// so the cold queries below run over finished segments and DiskUsage
+	// reports actual bytes instead of sparse preallocation.
+	if err := peng.Flush(); err != nil {
+		return err
+	}
+	if err := benchref.SanityCheckQueryFixture(peng.Store(), meters, perMeter); err != nil {
+		return err
+	}
+	ceng := query.New(peng.Store())
+	record("persist/fleet-sum-cold", total, func(b *testing.B) { benchref.BenchQueryFleetSum(b, ceng, total) })
+	record("persist/meter-window-cold", wpts, func(b *testing.B) {
+		benchref.BenchQueryMeterWindow(b, ceng, 1, wt0, wt1, wpts)
+	})
+	rep.Persist.WALBytes, rep.Persist.SegmentBytes, err = peng.DiskUsage()
+	if err != nil {
+		return err
+	}
+	pBytes, pPoints := peng.Store().MemoryFootprint()
+	rep.Persist.ResidentBytesPerPt = float64(pBytes) / float64(pPoints)
+	fmt.Fprintf(out, "persist: %.2f B/point resident with spilled payloads; on disk %d WAL + %d segment bytes for %d points\n",
+		rep.Persist.ResidentBytesPerPt, rep.Persist.WALBytes, rep.Persist.SegmentBytes, pPoints)
 
 	bytes, points := st.MemoryFootprint()
 	rep.Memory = MemoryStats{

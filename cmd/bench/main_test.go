@@ -9,7 +9,7 @@ import (
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_4.json structure.
+// validates the BENCH_5.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,11 +24,11 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/4" {
+	if rep.Schema != "symmeter-bench/5" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Results) != 12 {
-		t.Fatalf("got %d results, want 12", len(rep.Results))
+	if len(rep.Results) != 17 {
+		t.Fatalf("got %d results, want 17", len(rep.Results))
 	}
 	names := map[string]Result{}
 	for _, r := range rep.Results {
@@ -42,13 +42,16 @@ func TestRunSmoke(t *testing.T) {
 		"pack/bitwise", "unpack/bitwise",
 		"query/fleet-sum", "query/fleet-hist", "query/meter-window",
 		"baseline/fleet-sum", "baseline/fleet-hist",
+		"persist/append-batch96", "persist/recover-segments",
+		"persist/recover-replay", "persist/fleet-sum-cold",
+		"persist/meter-window-cold",
 	} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing benchmark %q", want)
 		}
 	}
 	// The zero-allocation contracts hold even at smoke benchtime.
-	for _, name := range []string{"pack/word-append", "unpack/word-into", "query/meter-window"} {
+	for _, name := range []string{"pack/word-append", "unpack/word-into", "query/meter-window", "persist/meter-window-cold"} {
 		if a := names[name].AllocsPerOp; a != 0 {
 			t.Fatalf("%s allocates %d times per op, want 0", name, a)
 		}
@@ -84,6 +87,20 @@ func TestRunSmoke(t *testing.T) {
 	if rep.Mixed.IngestP99SoloNs <= 0 || rep.Mixed.IngestP99ReadersNs <= 0 ||
 		rep.Mixed.IngestP50SoloNs <= 0 || rep.Mixed.IngestP50ReadersNs <= 0 {
 		t.Fatalf("mixed ingest latency percentiles missing: %+v", rep.Mixed)
+	}
+	// The persist section must carry every fsync mode's latency, the
+	// in-memory ratio, and the fixture's disk/residency accounting.
+	if rep.Persist.IngestP50WALOffNs <= 0 || rep.Persist.IngestP50WALGroupNs <= 0 ||
+		rep.Persist.IngestP50WALAlwaysNs <= 0 || rep.Persist.WALOffOverMemP50 <= 0 {
+		t.Fatalf("persist latency section incomplete: %+v", rep.Persist)
+	}
+	if rep.Persist.WALBytes <= 0 || rep.Persist.SegmentBytes <= 0 || rep.Persist.ResidentBytesPerPt <= 0 {
+		t.Fatalf("persist disk/residency accounting incomplete: %+v", rep.Persist)
+	}
+	// Spilling sealed payloads must beat the resident store's footprint.
+	if rep.Persist.ResidentBytesPerPt >= rep.Memory.PackedBytesPerPoint {
+		t.Fatalf("spilled store resident %.2f B/pt ≥ in-memory %.2f B/pt",
+			rep.Persist.ResidentBytesPerPt, rep.Memory.PackedBytesPerPoint)
 	}
 }
 

@@ -167,31 +167,30 @@ func TestDiffMissingFile(t *testing.T) {
 	}
 }
 
-// TestDiffQueryNormalizedByAggregationBaseline pins the query family's
-// ruler: query/fleet-* is normalized by its decode-then-aggregate twin
-// (baseline/fleet-*) measured in the same run, so a uniformly slower
-// machine passes while a lost query speedup fails even at higher absolute
-// throughput.
-func TestDiffQueryNormalizedByAggregationBaseline(t *testing.T) {
+// TestDiffQueryNormalizedByKernelRuler pins the query family's ruler: the
+// pure-integer unpack/bitwise kernel measured in the same run, so a
+// uniformly slower machine passes while a lost query speedup fails even at
+// higher absolute throughput.
+func TestDiffQueryNormalizedByKernelRuler(t *testing.T) {
 	dir := t.TempDir()
-	base := writeReport(t, dir, "base.json", "symmeter-bench/3", map[string]float64{
-		"query/fleet-sum":    4000000, // 40x the decode-then-aggregate ruler
-		"baseline/fleet-sum": 100000,
+	base := writeReport(t, dir, "base.json", "symmeter-bench/4", map[string]float64{
+		"query/fleet-sum": 4000000, // 40x the kernel ruler
+		"unpack/bitwise":  100000,
 	})
-	slowRunner := writeReport(t, dir, "slow.json", "symmeter-bench/4", map[string]float64{
-		"query/fleet-sum":    2000000, // half the speed, same 40x speedup
-		"baseline/fleet-sum": 50000,
+	slowRunner := writeReport(t, dir, "slow.json", "symmeter-bench/5", map[string]float64{
+		"query/fleet-sum": 2000000, // half the speed, same 40x over the ruler
+		"unpack/bitwise":  50000,
 	})
 	var out bytes.Buffer
-	if err := run([]string{"-baseline", base, "-current", slowRunner}, &out); err != nil {
+	if err := run([]string{"-baseline", base, "-current", slowRunner, "-prefixes", "query/"}, &out); err != nil {
 		t.Fatalf("uniformly slower runner flagged as query regression: %v\n%s", err, out.String())
 	}
-	fastButRegressed := writeReport(t, dir, "fast.json", "symmeter-bench/4", map[string]float64{
-		"query/fleet-sum":    5000000, // absolutely faster, but only 25x its ruler
-		"baseline/fleet-sum": 200000,
+	fastButRegressed := writeReport(t, dir, "fast.json", "symmeter-bench/5", map[string]float64{
+		"query/fleet-sum": 5000000, // absolutely faster, but only 25x its ruler
+		"unpack/bitwise":  200000,
 	})
 	out.Reset()
-	err := run([]string{"-baseline", base, "-current", fastButRegressed}, &out)
+	err := run([]string{"-baseline", base, "-current", fastButRegressed, "-prefixes", "query/"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "query/fleet-sum") {
 		t.Fatalf("query speedup regression not caught: %v\n%s", err, out.String())
 	}
@@ -215,5 +214,75 @@ func TestDiffExcludesMeterWindow(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
 		t.Fatalf("excluded query/meter-window gated anyway: %v\n%s", err, out.String())
+	}
+}
+
+// TestDiffReportsAllProblemsAtOnce pins the one-run-full-report contract:
+// two independent regressions plus a benchmark missing from the current
+// report must all appear in a single error, and every comparison line must
+// still have been printed.
+func TestDiffReportsAllProblemsAtOnce(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/4", map[string]float64{
+		"pack/word-append": 1000000,
+		"unpack/word-into": 2000000,
+		"query/fleet-sum":  500000,
+	})
+	cur := writeReport(t, dir, "cur.json", "symmeter-bench/5", map[string]float64{
+		"pack/word-append": 100000, // -90%
+		"unpack/word-into": 200000, // -90%
+		// query/fleet-sum missing entirely
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil {
+		t.Fatal("two regressions + one missing benchmark must fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"2 benchmark(s) regressed",
+		"pack/word-append",
+		"unpack/word-into",
+		"missing",
+		"query/fleet-sum",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("combined error missing %q: %s", want, msg)
+		}
+	}
+	// Both comparisons were printed before failing — nothing died early.
+	if got := strings.Count(out.String(), "REGRESSED"); got != 2 {
+		t.Errorf("want 2 REGRESSED lines in output, got %d:\n%s", got, out.String())
+	}
+}
+
+// TestDiffQueryRuler pins the query family's normalizer: the pure-kernel
+// unpack/bitwise ruler, not the allocation-dominated decode-then-aggregate
+// twins. A run where the baseline twin sped up 50% (allocator weather) but
+// query throughput and the kernel ruler are unchanged must pass; a genuine
+// query slowdown against the kernel ruler must fail.
+func TestDiffQueryRuler(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/4", map[string]float64{
+		"query/fleet-sum":    10000000,
+		"baseline/fleet-sum": 100000,
+		"unpack/bitwise":     1000000,
+	})
+	weather := writeReport(t, dir, "weather.json", "symmeter-bench/5", map[string]float64{
+		"query/fleet-sum":    10000000,
+		"baseline/fleet-sum": 150000, // decode baseline sped up: irrelevant
+		"unpack/bitwise":     1000000,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", weather, "-prefixes", "query/"}, &out); err != nil {
+		t.Fatalf("baseline-twin weather must not gate the query family: %v\n%s", err, out.String())
+	}
+	slow := writeReport(t, dir, "slow.json", "symmeter-bench/5", map[string]float64{
+		"query/fleet-sum":    7000000, // 0.70x against an unchanged kernel ruler
+		"baseline/fleet-sum": 100000,
+		"unpack/bitwise":     1000000,
+	})
+	if err := run([]string{"-baseline", base, "-current", slow, "-prefixes", "query/"}, &out); err == nil {
+		t.Fatal("a 30% query slowdown against the kernel ruler must fail")
 	}
 }

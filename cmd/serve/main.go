@@ -8,11 +8,19 @@
 // histogram over a queried time range — alongside the per-meter MAE
 // reconstruction check.
 //
+// With -data-dir the store is durable: every batch hits a per-shard WAL
+// before it commits, sealed blocks spill into mmapped segment files, and a
+// restart recovers the whole fleet's history before serving — so the query
+// line at the end aggregates recovered + fresh data together. SIGINT and
+// SIGTERM drain in-flight sessions and flush storage instead of dying
+// mid-frame; a flush failure exits non-zero.
+//
 //	serve                        # 4 meters, 16 shards, 1 day each
 //	serve -meters 64 -shards 32 -days 3
 //	serve -meters 2 -seconds 3600    # only the first hour of each day
 //	serve -hist -qfrom 172800 -qto 216000  # histogram of the live day's first 12 hours
 //	                                       # (stored data starts after the 2 training days)
+//	serve -data-dir /var/lib/symmeter -fsync group   # durable ingest + recovery
 //	serve -cpuprofile cpu.out        # profile ingest + query
 package main
 
@@ -23,11 +31,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"symmeter/internal/profiling"
 	"symmeter/internal/query"
 	"symmeter/internal/server"
+	"symmeter/internal/storage"
 	"symmeter/internal/symbolic"
 )
 
@@ -54,6 +65,8 @@ func run(args []string, out io.Writer) (err error) {
 		qto        = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
 		qworkers   = fs.Int("qworkers", 0, "fleet-query worker pool size (0 = GOMAXPROCS)")
 		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
+		dataDir    = fs.String("data-dir", "", "durable storage directory (WAL + segments); empty = in-memory only")
+		fsyncMode  = fs.String("fsync", "group", "WAL durability with -data-dir: off, group or always")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,12 +97,39 @@ func run(args []string, out io.Writer) (err error) {
 		Seed:          *seed,
 		RelearnPerDay: *relearn,
 	}
+	// With -data-dir, recover the store from disk and interpose the WAL +
+	// segment engine between the sessions and the store.
+	var eng *storage.Engine
+	var recovered *server.Store
+	if *dataDir != "" {
+		mode, err := storage.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		eng, err = storage.Open(storage.Options{Dir: *dataDir, Shards: *shards, Sync: mode})
+		if err != nil {
+			return err
+		}
+		// Close is idempotent: the happy path and the signal path close
+		// explicitly (and report errors); this backstop covers every early
+		// error return so no run leaves the syncer goroutine, the segment
+		// mappings, or an unflushed open segment behind.
+		defer eng.Close()
+		recovered = eng.Store()
+		rs := eng.Recovery()
+		fmt.Fprintf(out, "storage: %s (fsync=%s): recovered %d meters — %d points from %d segments, %d replayed from %d WAL records (%d torn tails truncated)\n",
+			*dataDir, eng.Sync(), rs.Meters, rs.SegmentPoints, rs.Segments, rs.ReplayedPoints, rs.WALRecords, rs.TornTails)
+	}
 	// Each meter will stream one symbol per window; reserving that capacity
 	// at handshake keeps the per-batch store commits allocation-free.
 	svc := server.New(server.Config{
 		Shards:        *shards,
 		ReservePoints: fleetCfg.ExpectedPointsPerMeter(),
+		Store:         recovered,
 	})
+	if eng != nil {
+		svc.SetIngest(eng)
+	}
 	bound, err := svc.Listen(*addr)
 	if err != nil {
 		return err
@@ -97,10 +137,31 @@ func run(args []string, out io.Writer) (err error) {
 	defer svc.Close()
 	fmt.Fprintf(out, "server listening on %s (%d shards)\n", bound, svc.Store().NumShards())
 
+	// SIGINT/SIGTERM drain cleanly — finish reading what connected sensors
+	// already sent, flush storage — instead of dying mid-frame.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	start := time.Now()
-	rep, err := server.RunFleet(bound.String(), fleetCfg)
-	if err != nil {
+	fleetDone := make(chan *server.FleetReport, 1)
+	fleetErr := make(chan error, 1)
+	go func() {
+		rep, err := server.RunFleet(bound.String(), fleetCfg)
+		if err != nil {
+			fleetErr <- err
+			return
+		}
+		fleetDone <- rep
+	}()
+	var rep *server.FleetReport
+	select {
+	case rep = <-fleetDone:
+	case err := <-fleetErr:
 		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "received %v: draining sessions and flushing storage\n", sig)
+		return shutdown(svc, eng, out)
 	}
 	// Every meter whose dial succeeded produced a server-side session (even
 	// one that failed mid-stream), and a just-closed connection may still be
@@ -137,9 +198,9 @@ func run(args []string, out io.Writer) (err error) {
 	// block summaries plus LUT edge kernels over the RCU-published sealed
 	// indexes, a bounded worker pool over the shards — not by reconstructing
 	// streams, and (for sealed data) without taking any shard lock.
-	eng := query.New(svc.Store())
+	qe := query.New(svc.Store())
 	if *qworkers > 0 {
-		eng.SetWorkers(*qworkers)
+		qe.SetWorkers(*qworkers)
 	}
 	t0, t1 := *qfrom, *qto
 	if t1 <= 0 {
@@ -148,7 +209,7 @@ func run(args []string, out io.Writer) (err error) {
 		t1 = math.MaxInt64
 	}
 	qstart := time.Now()
-	agg := eng.FleetAggregate(t0, t1)
+	agg := qe.FleetAggregate(t0, t1)
 	qelapsed := time.Since(qstart)
 	// The ingest total is always the full stored count — the -qfrom/-qto
 	// window restricts only the query line below.
@@ -160,12 +221,12 @@ func run(args []string, out io.Writer) (err error) {
 	if agg.Count > 0 {
 		fmt.Fprintf(out, "query: fleet mean %.1f W, min %.1f W, max %.1f W over [%d,%d) — %d points in %v, compressed-domain, %d workers, %d tail-fold locks\n",
 			agg.Mean(), agg.Min, agg.Max, t0, t1, agg.Count, qelapsed.Round(time.Microsecond),
-			eng.Workers(), svc.Store().QueryLockAcquisitions())
+			qe.Workers(), svc.Store().QueryLockAcquisitions())
 	} else {
 		fmt.Fprintf(out, "query: no points in [%d,%d) (%v, compressed-domain)\n", t0, t1, qelapsed.Round(time.Microsecond))
 	}
 	if *hist {
-		h, err := eng.FleetHistogram(t0, t1)
+		h, err := qe.FleetHistogram(t0, t1)
 		if err != nil {
 			return err
 		}
@@ -175,10 +236,41 @@ func run(args []string, out io.Writer) (err error) {
 	st := svc.Stats()
 	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",
 		st.BytesIn, symbolic.RawSize(rep.Sent))
+	if eng != nil {
+		// All queries above are done; flushing finishes the open segments
+		// and makes the next start recover from footers instead of replay.
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("storage flush: %w", err)
+		}
+		walBytes, segBytes, derr := eng.DiskUsage()
+		if derr == nil {
+			fmt.Fprintf(out, "storage: flushed; on disk: %d WAL bytes, %d segment bytes\n", walBytes, segBytes)
+		}
+	}
 	if errs := svc.SessionErrors(); len(errs) > 0 {
 		fmt.Fprintf(out, "session errors: %d (first: %v)\n", len(errs), errs[0])
 		return fmt.Errorf("%d of %d sessions failed", len(errs), len(rep.Meters))
 	}
 	fmt.Fprintln(out, "session errors: 0")
+	return nil
+}
+
+// shutdown is the signal path: give in-flight sessions a moment to finish
+// reading what their peers already sent, then cut connections and flush the
+// storage engine. A flush failure is the one thing that must exit non-zero —
+// it means acknowledged data may need the WAL replayed on the next start.
+func shutdown(svc *server.Service, eng *storage.Engine, out io.Writer) error {
+	st := svc.Stats()
+	if !svc.AwaitSessions(st.Sessions, 5*time.Second) {
+		fmt.Fprintln(out, "warning: sessions still active after drain timeout; closing them")
+	}
+	svc.Close()
+	if eng != nil {
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("storage flush on shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "storage flushed cleanly")
+	}
+	fmt.Fprintln(out, "shutdown complete")
 	return nil
 }

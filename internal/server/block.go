@@ -54,6 +54,10 @@ type block struct {
 	// trimming would free nothing (the arena is accounted whole instead).
 	payloadFromArena bool
 	histFromArena    bool
+	// spilled records that the payload now aliases a durable segment file
+	// (an mmapped region handed back by the store's SealSink): the bytes are
+	// no longer heap-resident, so MemoryFootprint excludes them.
+	spilled bool
 }
 
 // lastT returns the timestamp of the block's last point (n must be ≥ 1).

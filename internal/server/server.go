@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"symmeter/internal/symbolic"
 )
 
 // Config sizes a Service.
@@ -18,6 +20,22 @@ type Config struct {
 	// so a session whose expected volume is known up front (e.g. replaying
 	// N days of fixed-window data) ingests every batch allocation-free.
 	ReservePoints int
+	// Store, when non-nil, is used instead of a fresh store — the recovery
+	// path: a durability layer rebuilds the store from disk and hands it to
+	// the service (Shards is then ignored).
+	Store *Store
+}
+
+// Ingest is the write interface a session drives. A plain *Store implements
+// it (the in-memory default); a durability layer wraps the store so every
+// table and batch hits a write-ahead log before it commits (see
+// internal/storage), without the session loop knowing either way.
+type Ingest interface {
+	StartSession(meterID uint64) error
+	EndSession(meterID uint64)
+	PushTable(meterID uint64, t *symbolic.Table) error
+	Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
+	Reserve(meterID uint64, n int) error
 }
 
 // Stats is a point-in-time view of service counters.
@@ -37,6 +55,7 @@ type Stats struct {
 // meter, writing into a sharded Store.
 type Service struct {
 	store         *Store
+	ingest        Ingest
 	reservePoints int
 
 	sessions atomic.Int64
@@ -52,18 +71,28 @@ type Service struct {
 	closed  atomic.Bool
 }
 
-// New returns an idle service with a fresh store.
+// New returns an idle service with a fresh store (or the recovered one the
+// config carries).
 func New(cfg Config) *Service {
-	shards := cfg.Shards
-	if shards <= 0 {
-		shards = 16
+	st := cfg.Store
+	if st == nil {
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = 16
+		}
+		st = NewStore(shards)
 	}
 	return &Service{
-		store:         NewStore(shards),
+		store:         st,
+		ingest:        st,
 		reservePoints: cfg.ReservePoints,
 		closers:       make(map[net.Conn]struct{}),
 	}
 }
+
+// SetIngest routes session writes through ing instead of the bare store —
+// how a durability layer interposes its WAL. Must be called before Listen.
+func (s *Service) SetIngest(ing Ingest) { s.ingest = ing }
 
 // Store exposes the aggregation store for reporting and tests.
 func (s *Service) Store() *Store { return s.store }

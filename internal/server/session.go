@@ -40,12 +40,12 @@ func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err
 	if err != nil {
 		return 0, err
 	}
-	if err := s.store.StartSession(hs.MeterID); err != nil {
+	if err := s.ingest.StartSession(hs.MeterID); err != nil {
 		return 0, err
 	}
-	defer s.store.EndSession(hs.MeterID)
+	defer s.ingest.EndSession(hs.MeterID)
 	if s.reservePoints > 0 {
-		if err := s.store.Reserve(hs.MeterID, s.reservePoints); err != nil {
+		if err := s.ingest.Reserve(hs.MeterID, s.reservePoints); err != nil {
 			return 0, err
 		}
 	}
@@ -63,11 +63,11 @@ func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err
 		}
 		switch ev.Type {
 		case transport.FrameTable:
-			if err := s.store.PushTable(hs.MeterID, ev.Table); err != nil {
+			if err := s.ingest.PushTable(hs.MeterID, ev.Table); err != nil {
 				return symbols, err
 			}
 		case transport.FrameSymbol:
-			n, err := s.store.Append(hs.MeterID, ev.Points)
+			n, err := s.ingest.Append(hs.MeterID, ev.Points)
 			if err != nil {
 				return symbols, err
 			}

@@ -101,20 +101,31 @@ type meterEntry struct {
 	idxArena       []sealedIndex
 	arenaBytes     int64
 	pendingReserve int
+
+	// recycle is the previous tail's heap payload buffer, freed up when a
+	// spill relocated that block's bytes into a segment file: the next tail
+	// block reuses it, so a persistent meter reaches a steady state where
+	// sealing allocates nothing and resident payload is bounded by one live
+	// tail regardless of history length.
+	recycle []byte
 }
 
-// tail returns the mutable last block, or nil when the chain is empty. By
-// construction the last block is always the unsealed tail: a block only
-// seals at the instant its successor is created.
+// tail returns the mutable last block, or nil when every block of the chain
+// is sealed. The sealed prefix is exactly the published index's blocks, so
+// the chain has a live tail iff it is one block longer than the index — which
+// also holds for a freshly-restored meter, whose recovered blocks are all
+// sealed (a naive "last block" rule would hand out a published, immutable
+// block as the tail and corrupt it on the next append).
 func (e *meterEntry) tail() *block {
-	if len(e.blocks) == 0 {
+	if len(e.blocks) == len(e.idx.Load().blocks) {
 		return nil
 	}
 	return &e.blocks[len(e.blocks)-1]
 }
 
 // newBlock appends a fresh block for the given epoch, carving payload and
-// histogram space from the reserve arena when available.
+// histogram space from the reserve arena when available and falling back to
+// the spill-recycled tail buffer before the allocator.
 func (e *meterEntry) newBlock(epoch uint32, level, k int) *block {
 	nb := blockBytes(level)
 	var payload []byte
@@ -122,6 +133,10 @@ func (e *meterEntry) newBlock(epoch uint32, level, k int) *block {
 	if payloadFromArena {
 		payload = e.payloadArena[:nb:nb]
 		e.payloadArena = e.payloadArena[nb:]
+	} else if cap(e.recycle) >= nb {
+		payload = e.recycle[:nb:nb]
+		clear(payload) // PackSymbolAt ORs bits in; the buffer must start zero
+		e.recycle = nil
 	} else {
 		payload = make([]byte, nb)
 	}
@@ -151,19 +166,26 @@ const idxMeta = int64(unsafe.Sizeof(sealedIndex{}))
 
 // reserveLocked sizes the arenas, block slice, time directory and index
 // arena for n more points under the meter's current table, so the whole
-// append-and-seal-and-publish cycle runs allocation-free.
-func (e *meterEntry) reserveLocked(n int) {
+// append-and-seal-and-publish cycle runs allocation-free. When the store
+// spills sealed payloads to a SealSink, the payload and histogram arenas are
+// skipped: a spilled block's bytes live in a segment file, so a full-history
+// payload slab would pin exactly the memory the spill path exists to evict
+// (the recycled tail buffer makes steady-state sealing allocation-free
+// instead).
+func (e *meterEntry) reserveLocked(n int, persist bool) {
 	table := e.tables[len(e.tables)-1]
 	level, k := table.Level(), table.K()
 	nb := (n+BlockCap-1)/BlockCap + 1
-	if need := nb * blockBytes(level); len(e.payloadArena) < need {
-		e.payloadArena = make([]byte, need)
-		e.arenaBytes += int64(need)
-	}
-	if level <= maxHistLevel {
-		if need := nb * k; len(e.histArena) < need {
-			e.histArena = make([]uint32, need)
-			e.arenaBytes += 4 * int64(need)
+	if !persist {
+		if need := nb * blockBytes(level); len(e.payloadArena) < need {
+			e.payloadArena = make([]byte, need)
+			e.arenaBytes += int64(need)
+		}
+		if level <= maxHistLevel {
+			if need := nb * k; len(e.histArena) < need {
+				e.histArena = make([]uint32, need)
+				e.arenaBytes += 4 * int64(need)
+			}
 		}
 	}
 	if len(e.idxArena) < nb {
@@ -194,13 +216,55 @@ func (sh *shard) meter(meterID uint64) *meterEntry {
 	return sh.dir.Load().meters[meterID]
 }
 
+// SealedBlock is the exported form of one sealed packed block — what a
+// SealSink receives at seal time and what Store.RestoreMeter accepts at
+// recovery. Payload is the headerless packed symbol data trimmed to its used
+// bytes; Hist is the per-symbol count summary or nil.
+type SealedBlock struct {
+	Epoch      int
+	Level      int
+	N          int
+	FirstT     int64
+	Stride     int64
+	Sum        float64
+	MinV, MaxV float64
+	Payload    []byte
+	Hist       []uint32
+	// Spilled marks the payload as aliasing non-heap memory (an mmapped
+	// segment region); MemoryFootprint then excludes it. Sinks that persist
+	// a block and hand back an mmapped view set it implicitly; restores set
+	// it to match where the recovered payload actually lives.
+	Spilled bool
+}
+
+// SealSink persists blocks the moment they seal. SealedBlock is called under
+// the meter's shard write lock, after the block's final point and before the
+// sealed index republishes (the block is still invisible to lock-free
+// readers), and returns the byte slice the store must adopt as the block's
+// payload from then on — typically an mmapped region of the segment file the
+// sink just wrote, which is what evicts sealed payloads from the heap.
+// Returning blk.Payload itself keeps the block resident. An error fails the
+// Append that triggered the seal; points already committed stay readable and
+// the spill is retried on the meter's next append.
+type SealSink interface {
+	SealedBlock(meterID uint64, blk SealedBlock) ([]byte, error)
+}
+
 // Store is a sharded in-memory aggregation store. Meters are assigned to
 // shards by a mixed hash of their ID; all state for one meter lives in one
 // shard, so a session touches exactly one mutex and concurrent sessions on
 // different shards never contend.
 type Store struct {
 	shards []shard
+	// sink, when non-nil, receives every block at seal time (the durability
+	// hook); set once before ingest via SetSealSink.
+	sink SealSink
 }
+
+// SetSealSink installs the seal-time durability hook. It must be called
+// before any session appends — the store does not retrofit existing sealed
+// blocks into the sink.
+func (s *Store) SetSealSink(sink SealSink) { s.sink = sink }
 
 // NewStore returns a store with n shards (n < 1 is clamped to 1).
 func NewStore(n int) *Store {
@@ -327,7 +391,7 @@ func (s *Store) PushTable(meterID uint64, t *symbolic.Table) error {
 	}
 	e.tables = append(e.tables, t)
 	if e.pendingReserve > 0 {
-		e.reserveLocked(e.pendingReserve)
+		e.reserveLocked(e.pendingReserve, s.sink != nil)
 		e.pendingReserve = 0
 	}
 	return nil
@@ -341,7 +405,11 @@ var ErrBadSymbol = errors.New("server: symbol level does not match table")
 // under its current table epoch. It returns how many points were stored.
 //
 // The whole batch is validated against the table before any point is
-// committed, so an error never leaves a partially-appended batch. Each point
+// committed, so a validation error never leaves a partially-appended batch.
+// The one exception is an I/O error from the seal sink mid-batch: points
+// committed before the failing seal stay readable (the return count says how
+// many), so a caller must resume from that count rather than retry the whole
+// batch. Each point
 // costs one bit-pack into the tail block plus O(1) summary updates; a point
 // that breaks the tail's timestamp stride (a gap) or arrives under a new
 // epoch seals the tail, publishes the sealed index (the single point where
@@ -369,12 +437,20 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 	values := table.ReconstructionValues()
 	k := table.K()
 	tail := e.tail()
-	for _, sp := range pts {
+	for i, sp := range pts {
 		if tail == nil || !tail.accepts(sp.T, epoch) {
 			if tail != nil {
-				// Trim before publishing: a block must never mutate after the
-				// index that contains it is visible to lock-free readers.
-				tail.seal()
+				// Trim (or spill to the durable sink) before publishing: a
+				// block must never mutate after the index that contains it
+				// is visible to lock-free readers.
+				if err := s.sealTail(e, tail); err != nil {
+					// The spill failed mid-batch. Points pushed so far are
+					// valid and stay readable (the sealed-but-unpublished
+					// block is still served as the locked tail); account
+					// them and surface the I/O error to the session.
+					e.total.Add(int64(i))
+					return i, err
+				}
 				e.publish()
 			}
 			tail = e.newBlock(epoch, level, k)
@@ -388,6 +464,64 @@ func (s *Store) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) 
 	}
 	e.total.Add(int64(len(pts)))
 	return len(pts), nil
+}
+
+// sealTail finalizes a block that is about to get a successor: through the
+// durable sink when one is installed (the payload relocates into a segment
+// file and the heap buffer recycles to the next tail), by in-place trimming
+// otherwise. Caller holds the shard write lock.
+func (s *Store) sealTail(e *meterEntry, tail *block) error {
+	if s.sink == nil {
+		tail.seal()
+		return nil
+	}
+	return e.spill(s.sink, tail)
+}
+
+// spill hands a just-sealed block to the sink and adopts the returned bytes
+// as the block's payload. On success the old heap payload buffer is parked
+// for reuse by the next tail, and an underfull block's histogram is dropped
+// exactly as seal() would drop it (the sink already persisted it; queries
+// kernel-scan partial blocks either way).
+func (e *meterEntry) spill(sink SealSink, b *block) error {
+	used := (int(b.n)*int(b.level) + 7) / 8
+	adopted, err := sink.SealedBlock(e.id, SealedBlock{
+		Epoch:   int(b.epoch),
+		Level:   int(b.level),
+		N:       int(b.n),
+		FirstT:  b.firstT,
+		Stride:  b.stride,
+		Sum:     b.sum,
+		MinV:    b.minV,
+		MaxV:    b.maxV,
+		Payload: b.payload[:used:used],
+		Hist:    b.hist,
+	})
+	if err != nil {
+		return err
+	}
+	if len(adopted) < used {
+		return fmt.Errorf("server: seal sink returned %d payload bytes, need %d", len(adopted), used)
+	}
+	// A sink without a mapping may hand the heap payload straight back; only
+	// a genuinely relocated payload frees the old buffer for recycling (and
+	// only then is the block's storage off-heap).
+	if relocated := &adopted[0] != &b.payload[0]; relocated {
+		if !b.payloadFromArena && cap(b.payload) > cap(e.recycle) {
+			e.recycle = b.payload[:0]
+		}
+		b.payload = adopted[:used:used]
+		b.payloadFromArena = false
+		b.spilled = true
+	} else {
+		// The bytes stayed on the heap (no mapping available): trim them
+		// like any other seal.
+		b.seal()
+	}
+	if !b.histFromArena && b.hist != nil && int(b.n) < len(b.hist) {
+		b.hist = nil
+	}
+	return nil
 }
 
 // Reserve pre-allocates block capacity for at least n points for the meter —
@@ -410,7 +544,114 @@ func (s *Store) Reserve(meterID uint64, n int) error {
 		}
 		return nil
 	}
-	e.reserveLocked(n)
+	e.reserveLocked(n, s.sink != nil)
+	return nil
+}
+
+// RestoreMeter installs a recovered meter: its table history and its sealed
+// block chain (typically read back from durable segment files, payloads
+// aliasing mmapped regions), publishing the sealed index so queries serve
+// the meter immediately and with the exact pruning the live path would have.
+// It is the recovery-time counterpart of StartSession + PushTable + Append
+// and must run before any live traffic for the meter; blocks must be in
+// their original seal order. Every field is validated against the table
+// history — recovery reads untrusted on-disk bytes, and a corrupt block must
+// fail loudly here rather than panic in a query kernel.
+func (s *Store) RestoreMeter(meterID uint64, tables []*symbolic.Table, blocks []SealedBlock) error {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.meter(meterID) != nil {
+		return fmt.Errorf("server: meter %d already registered; restore must precede ingest", meterID)
+	}
+	e := &meterEntry{id: meterID, tables: append([]*symbolic.Table(nil), tables...)}
+	e.tailFirstT.Store(noTail)
+	total := 0
+	ordered := true
+	for i, rb := range blocks {
+		if err := validateRestored(rb, e.tables); err != nil {
+			return fmt.Errorf("server: restore meter %d block %d: %w", meterID, i, err)
+		}
+		used := (rb.N*rb.Level + 7) / 8
+		e.blocks = append(e.blocks, block{
+			epoch:   uint32(rb.Epoch),
+			level:   uint8(rb.Level),
+			n:       uint32(rb.N),
+			firstT:  rb.FirstT,
+			stride:  rb.Stride,
+			sum:     rb.Sum,
+			minV:    rb.MinV,
+			maxV:    rb.MaxV,
+			payload: rb.Payload[:used:used],
+			hist:    rb.Hist,
+			spilled: rb.Spilled,
+		})
+		e.dirFirst = append(e.dirFirst, rb.FirstT)
+		total += rb.N
+		if i > 0 && e.blocks[i-1].lastT() > rb.FirstT {
+			ordered = false
+		}
+	}
+	e.total.Store(int64(total))
+	if len(e.blocks) == 0 {
+		e.idx.Store(&emptyIndex)
+	} else {
+		e.idx.Store(&sealedIndex{
+			tables:  e.tables,
+			blocks:  e.blocks[:len(e.blocks):len(e.blocks)],
+			firstTs: e.dirFirst[:len(e.blocks):len(e.blocks)],
+			total:   total,
+			ordered: ordered,
+		})
+	}
+	old := sh.dir.Load()
+	m := make(map[uint64]*meterEntry, len(old.meters)+1)
+	for id, me := range old.meters {
+		m[id] = me
+	}
+	m[meterID] = e
+	sh.dir.Store(&shardDir{meters: m, list: append(old.list, Meter{e: e, sh: sh})})
+	return nil
+}
+
+// validateRestored checks one recovered block against the meter's table
+// history: referenced epoch, matching level, sane point count, payload large
+// enough for the packed bits, a stride the live accepts() path could have
+// produced (overflow-checked — timestamps are disk input here, wire input
+// there, equally untrusted), and a histogram consistent with the count.
+func validateRestored(rb SealedBlock, tables []*symbolic.Table) error {
+	if rb.Epoch < 0 || rb.Epoch >= len(tables) {
+		return fmt.Errorf("epoch %d outside table history of %d", rb.Epoch, len(tables))
+	}
+	table := tables[rb.Epoch]
+	if rb.Level != table.Level() {
+		return fmt.Errorf("level %d does not match epoch table level %d", rb.Level, table.Level())
+	}
+	if rb.N < 1 || rb.N > BlockCap {
+		return fmt.Errorf("point count %d outside [1,%d]", rb.N, BlockCap)
+	}
+	if need := (rb.N*rb.Level + 7) / 8; len(rb.Payload) < need {
+		return fmt.Errorf("payload of %d bytes, need %d", len(rb.Payload), need)
+	}
+	if rb.N == 1 {
+		if rb.Stride != 0 {
+			return fmt.Errorf("single-point block with stride %d", rb.Stride)
+		}
+	} else if got, ok := strideFor(rb.FirstT, rb.FirstT+rb.Stride); !ok || got != rb.Stride {
+		return fmt.Errorf("stride %d from %d fails progression bounds", rb.Stride, rb.FirstT)
+	}
+	if rb.Hist != nil {
+		if len(rb.Hist) != table.K() {
+			return fmt.Errorf("histogram of %d lanes, table has k=%d", len(rb.Hist), table.K())
+		}
+		var sum uint64
+		for _, c := range rb.Hist {
+			sum += uint64(c)
+		}
+		if sum != uint64(rb.N) {
+			return fmt.Errorf("histogram mass %d does not match point count %d", sum, rb.N)
+		}
+	}
 	return nil
 }
 
@@ -527,9 +768,11 @@ func (s *Store) TotalSymbols() int {
 // bytes-per-point claim in BENCH_4. Reserve arenas (payload, histogram and
 // index-struct slabs) are counted at their full allocated size (carved
 // regions stay resident for the slab's lifetime, trimmed or not); blocks add
-// their metadata plus any payload or histogram they own outside an arena;
-// the time directory adds 8 bytes per slot of its capacity. Table and map
-// overhead is excluded: both exist identically in any storage scheme.
+// their metadata plus any payload or histogram they own outside an arena —
+// except spilled payloads, which alias mmapped segment files and cost page
+// cache, not heap; the time directory adds 8 bytes per slot of its capacity
+// and the spill-recycled tail buffer its capacity. Table and map overhead is
+// excluded: both exist identically in any storage scheme.
 func (s *Store) MemoryFootprint() (bytes, points int64) {
 	const blockMeta = int64(unsafe.Sizeof(block{}))
 	for i := range s.shards {
@@ -540,10 +783,11 @@ func (s *Store) MemoryFootprint() (bytes, points int64) {
 			points += e.total.Load()
 			bytes += e.arenaBytes
 			bytes += 8 * int64(cap(e.dirFirst))
+			bytes += int64(cap(e.recycle))
 			for j := range e.blocks {
 				b := &e.blocks[j]
 				bytes += blockMeta
-				if !b.payloadFromArena {
+				if !b.payloadFromArena && !b.spilled {
 					bytes += int64(cap(b.payload))
 				}
 				if !b.histFromArena {

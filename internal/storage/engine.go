@@ -1,0 +1,653 @@
+// Package storage is the durability layer under the in-memory aggregation
+// store: a per-shard write-ahead log for everything a session commits, plus
+// immutable segment files that sealed blocks spill into the moment they
+// seal, plus crash recovery that rebuilds a byte-identical store from the
+// newest segment manifest and the WAL tails above it.
+//
+// The split mirrors the store's own hot/cold split. The WAL is the hot
+// tail's durability: every Append batch and table push is framed, CRC'd and
+// written (one write(2) per batch) before the store commits it, so an
+// acknowledged batch survives process death in every sync mode and OS death
+// per the chosen SyncMode. Segments are the sealed data's durability *and*
+// its eviction: the seal path hands each finished 512-symbol block to the
+// shard's segment writer, which appends the packed payload to a
+// preallocated, mmapped file and returns the mapped bytes for the store to
+// adopt — after which queries aggregate directly over the on-disk words
+// through the same packed-domain kernels, and resident memory is bounded by
+// live tails, summaries and directories no matter how much history
+// accumulates.
+//
+// Recovery replays in two layers: manifest-listed segments rebuild each
+// meter's sealed chain (summaries and the firstT directory come from the
+// segment footer — no payload is decoded), then the WAL replays through the
+// normal Append path with each meter's already-restored point count skipped,
+// rebuilding the live tails and any blocks that sealed after the last
+// finished segment. Anything torn at the very end of a WAL was never
+// acknowledged and is truncated; damage anywhere else fails recovery loudly
+// (ErrWALCorrupt) rather than silently dropping acknowledged data.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if missing). Its layout:
+	// MANIFEST.json, wal/shard-NNNN.wal, seg/NNNN-SSSSSS.seg.
+	Dir string
+	// Shards is the store's shard count for a fresh directory; an existing
+	// directory's manifest takes precedence (the WAL files are per-shard).
+	Shards int
+	// Sync is the WAL durability mode; the default is SyncGroup.
+	Sync SyncMode
+	// GroupInterval is the background fsync cadence under SyncGroup
+	// (default 2ms) — the OS-crash data-loss bound.
+	GroupInterval time.Duration
+	// SegmentBytes caps one segment file's preallocated size (default 4MiB,
+	// min 64KiB).
+	SegmentBytes int
+}
+
+// RecoveryStats reports what Open rebuilt.
+type RecoveryStats struct {
+	// Segments and SegmentBlocks/SegmentPoints count the sealed state
+	// restored from manifest-listed segment files without decoding.
+	Segments      int
+	SegmentBlocks int
+	SegmentPoints int64
+	// WALRecords is the total parsed log records; ReplayedPoints the points
+	// re-appended through the store (tails plus post-manifest seals);
+	// SkippedPoints the points the segment restore already covered.
+	WALRecords     int
+	ReplayedPoints int64
+	SkippedPoints  int64
+	// TornTails counts WAL files whose unacknowledged trailing write was
+	// dropped and truncated.
+	TornTails int
+	// Meters is the number of recovered meters.
+	Meters int
+}
+
+// meterMeta is the engine's per-meter ingest state (current epoch and symbol
+// level), used to frame WAL batch records and pre-validate appends before
+// they are logged. Fields are written only by the meter's single session
+// goroutine (the same serialization the wire protocol imposes).
+type meterMeta struct {
+	epoch int
+	level int
+}
+
+// Engine wraps a server.Store with the WAL + segment durability layer. It
+// implements server.Ingest, so a Service routes session writes through it
+// unchanged. Flush and Close require ingest to be quiesced (sessions
+// drained): the segment writers run under the store's shard locks on the
+// seal path and are not otherwise synchronized.
+type Engine struct {
+	opts  Options
+	store *server.Store
+	wals  []*wal
+	segs  []*segmentWriter
+
+	meters sync.Map // meterID → *meterMeta
+
+	manMu sync.Mutex
+	man   manifest
+
+	mapsMu sync.Mutex
+	maps   [][]byte
+
+	stop   chan struct{}
+	syncWG sync.WaitGroup
+	closed atomic.Bool
+
+	recovered RecoveryStats
+}
+
+// Open recovers (or initializes) the data directory and returns the engine
+// with its rebuilt store. The store answers queries immediately; install the
+// engine as the service's Ingest to make new traffic durable.
+func Open(opts Options) (*Engine, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("storage: Options.Dir is required")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SegmentBytes < 64<<10 {
+		opts.SegmentBytes = 64 << 10
+	}
+	if opts.GroupInterval <= 0 {
+		opts.GroupInterval = 2 * time.Millisecond
+	}
+	for _, d := range []string{opts.Dir, filepath.Join(opts.Dir, "wal"), filepath.Join(opts.Dir, "seg")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	man, haveMan, err := loadManifest(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !haveMan {
+		man = manifest{Format: manifestFormat, Shards: opts.Shards}
+		if err := writeManifest(opts.Dir, man); err != nil {
+			return nil, err
+		}
+	}
+	// The directory's shard count wins: the WAL is partitioned by it.
+	opts.Shards = man.Shards
+
+	e := &Engine{
+		opts:  opts,
+		store: server.NewStore(man.Shards),
+		man:   man,
+	}
+	if err := e.recover(); err != nil {
+		e.releaseMaps()
+		return nil, err
+	}
+	if opts.Sync == SyncGroup {
+		e.stop = make(chan struct{})
+		e.syncWG.Add(1)
+		go e.groupSync()
+	}
+	return e, nil
+}
+
+// Store returns the recovered (and live) aggregation store.
+func (e *Engine) Store() *server.Store { return e.store }
+
+// Recovery returns what Open rebuilt.
+func (e *Engine) Recovery() RecoveryStats { return e.recovered }
+
+// Sync returns the engine's WAL durability mode.
+func (e *Engine) Sync() SyncMode { return e.opts.Sync }
+
+func (e *Engine) segDir() string { return filepath.Join(e.opts.Dir, "seg") }
+
+func (e *Engine) walPath(shard int) string {
+	return filepath.Join(e.opts.Dir, "wal", fmt.Sprintf("shard-%04d.wal", shard))
+}
+
+// recover rebuilds the store: orphan cleanup, segment restore, WAL replay,
+// torn-tail truncation, seal-sink installation.
+func (e *Engine) recover() error {
+	shards := e.opts.Shards
+
+	// 1. Drop segment files the manifest does not list — the open segment of
+	// a crashed run has no footer and its blocks replay from the WAL.
+	listed := make(map[string]bool, len(e.man.Segments))
+	nextSeq := make([]uint64, shards)
+	for _, ms := range e.man.Segments {
+		listed[ms.File] = true
+		if ms.Shard >= 0 && ms.Shard < shards && ms.Seq >= nextSeq[ms.Shard] {
+			nextSeq[ms.Shard] = ms.Seq + 1
+		}
+	}
+	entries, err := os.ReadDir(e.segDir())
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && !listed[ent.Name()] {
+			if err := os.Remove(filepath.Join(e.segDir(), ent.Name())); err != nil {
+				return err
+			}
+		}
+	}
+
+	// 2. Load manifest segments: sealed chains per meter, in spill order
+	// (manifest order is per-shard finish order), plus per-meter skip
+	// counts for the replay.
+	perMeter := make(map[uint64][]server.SealedBlock)
+	skip := make(map[uint64]int64)
+	for _, ms := range e.man.Segments {
+		if ms.Shard < 0 || ms.Shard >= shards {
+			return fmt.Errorf("storage: manifest segment %s claims shard %d of %d", ms.File, ms.Shard, shards)
+		}
+		blocks, mapping, err := loadSegment(filepath.Join(e.segDir(), ms.File))
+		if err != nil {
+			return err
+		}
+		e.trackMapping(mapping)
+		e.recovered.Segments++
+		for _, sb := range blocks {
+			perMeter[sb.meterID] = append(perMeter[sb.meterID], sb.blk)
+			skip[sb.meterID] += int64(sb.blk.N)
+			e.recovered.SegmentBlocks++
+			e.recovered.SegmentPoints += int64(sb.blk.N)
+		}
+	}
+
+	// 3. Read and parse every shard's WAL; collect each meter's table
+	// history (pass 1 — the segment restore needs tables up front).
+	type shardLog struct {
+		recs  []walRecord
+		valid int64
+		torn  bool
+	}
+	logs := make([]shardLog, shards)
+	tables := make(map[uint64][]*symbolic.Table)
+	for i := 0; i < shards; i++ {
+		raw, err := os.ReadFile(e.walPath(i))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		recs, valid, torn, err := parseWAL(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.walPath(i), err)
+		}
+		logs[i] = shardLog{recs: recs, valid: valid, torn: torn}
+		e.recovered.WALRecords += len(recs)
+		for _, rec := range recs {
+			if rec.typ == recTable {
+				m, t, err := decodeTable(rec.data)
+				if err != nil {
+					return fmt.Errorf("%s: %w", e.walPath(i), err)
+				}
+				tables[m] = append(tables[m], t)
+			}
+		}
+	}
+
+	// 4. Restore sealed chains. Only the tables the restored blocks
+	// reference are installed here; the replay pushes the rest in order.
+	installed := make(map[uint64]int, len(perMeter))
+	restoreOrder := make([]uint64, 0, len(perMeter))
+	for m := range perMeter {
+		restoreOrder = append(restoreOrder, m)
+	}
+	sort.Slice(restoreOrder, func(i, j int) bool { return restoreOrder[i] < restoreOrder[j] })
+	for _, m := range restoreOrder {
+		blks := perMeter[m]
+		maxEpoch := 0
+		for _, b := range blks {
+			if b.Epoch > maxEpoch {
+				maxEpoch = b.Epoch
+			}
+		}
+		tl := tables[m]
+		if len(tl) <= maxEpoch {
+			return fmt.Errorf("%w: meter %d segments reference epoch %d but the log holds %d tables", ErrWALCorrupt, m, maxEpoch, len(tl))
+		}
+		if err := e.store.RestoreMeter(m, tl[:maxEpoch+1], blks); err != nil {
+			return err
+		}
+		installed[m] = maxEpoch + 1
+	}
+
+	// 5. Install the seal sink before replaying, so blocks that seal during
+	// replay spill to fresh segments exactly as live ones do and recovery's
+	// resident memory stays bounded too.
+	e.segs = make([]*segmentWriter, shards)
+	for i := range e.segs {
+		e.segs[i] = &segmentWriter{eng: e, shard: i, seq: nextSeq[i], cap: e.opts.SegmentBytes}
+	}
+	e.store.SetSealSink(e)
+
+	// 6. Replay the logs through the normal ingest path, skipping the
+	// already-restored prefix of each meter.
+	tseen := make(map[uint64]int)
+	var ptsScratch []symbolic.SymbolPoint
+	var symScratch []symbolic.Symbol
+	for i := 0; i < shards; i++ {
+		for _, rec := range logs[i].recs {
+			switch rec.typ {
+			case recTable:
+				m, t, err := decodeTable(rec.data)
+				if err != nil {
+					return fmt.Errorf("%s: %w", e.walPath(i), err)
+				}
+				tseen[m]++
+				if tseen[m] > installed[m] {
+					if err := e.ensureMeter(m); err != nil {
+						return err
+					}
+					if err := e.store.PushTable(m, t); err != nil {
+						return replayErr(err)
+					}
+				}
+			case recBatch:
+				var br batchRecord
+				br, ptsScratch, symScratch, err = decodeBatch(rec.data, ptsScratch, symScratch)
+				if err != nil {
+					return fmt.Errorf("%s: %w", e.walPath(i), err)
+				}
+				if int(br.epoch) != tseen[br.meterID]-1 {
+					return fmt.Errorf("%w: meter %d batch under epoch %d, log position implies %d", ErrWALCorrupt, br.meterID, br.epoch, tseen[br.meterID]-1)
+				}
+				if sk := skip[br.meterID]; sk > 0 {
+					n := int64(len(br.pts))
+					if sk >= n {
+						skip[br.meterID] = sk - n
+						e.recovered.SkippedPoints += n
+						continue
+					}
+					br.pts = br.pts[sk:]
+					skip[br.meterID] = 0
+					e.recovered.SkippedPoints += sk
+				}
+				if err := e.ensureMeter(br.meterID); err != nil {
+					return err
+				}
+				if _, err := e.store.Append(br.meterID, br.pts); err != nil {
+					return replayErr(err)
+				}
+				e.recovered.ReplayedPoints += int64(len(br.pts))
+			default:
+				return fmt.Errorf("%w: unknown record type %#x in %s", ErrWALCorrupt, rec.typ, e.walPath(i))
+			}
+		}
+	}
+	// Segments holding points the log no longer reaches means the WAL was
+	// damaged or swapped — refuse rather than serve a silently shorter tail.
+	for m, sk := range skip {
+		if sk > 0 {
+			return fmt.Errorf("%w: meter %d segments hold %d points past the end of the log", ErrWALCorrupt, m, sk)
+		}
+	}
+	e.recovered.Meters = len(tables)
+
+	// 7. Truncate torn tails and open the logs for appending.
+	e.wals = make([]*wal, shards)
+	for i := 0; i < shards; i++ {
+		path := e.walPath(i)
+		valid := logs[i].valid
+		if st, err := os.Stat(path); err == nil && st.Size() > valid {
+			if err := os.Truncate(path, valid); err != nil {
+				return err
+			}
+			e.recovered.TornTails++
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		e.wals[i] = newWAL(f, valid)
+	}
+
+	// 8. Hand each recovered meter its ingest state for live sessions.
+	for m, tl := range tables {
+		if len(tl) > 0 {
+			e.meters.Store(m, &meterMeta{epoch: len(tl) - 1, level: tl[len(tl)-1].Level()})
+		}
+	}
+	return nil
+}
+
+// replayErr classifies a store error hit while re-applying a log record.
+// The store's validation errors mean the log's *content* is inconsistent
+// with itself — that is corruption. Anything else (the respill path's
+// segment I/O failing with a full disk, say) is an environmental failure on
+// an intact log and must not be reported as damage: telling an operator the
+// WAL is corrupt invites deleting a healthy one.
+func replayErr(err error) error {
+	for _, verr := range []error{server.ErrBadSymbol, server.ErrNoTable, server.ErrUnknownMeter, server.ErrDuplicateMeter} {
+		if errors.Is(err, verr) {
+			return fmt.Errorf("%w: replay: %v", ErrWALCorrupt, err)
+		}
+	}
+	return fmt.Errorf("storage: replay: %w", err)
+}
+
+// ensureMeter registers a meter seen first in the WAL (no live session
+// exists during replay, so the session slot is released immediately).
+func (e *Engine) ensureMeter(meterID uint64) error {
+	if _, ok := e.store.Meter(meterID); ok {
+		return nil
+	}
+	if err := e.store.StartSession(meterID); err != nil {
+		return err
+	}
+	e.store.EndSession(meterID)
+	return nil
+}
+
+// SealedBlock implements server.SealSink by routing the block to its shard's
+// segment writer (called under that shard's store lock).
+func (e *Engine) SealedBlock(meterID uint64, blk server.SealedBlock) ([]byte, error) {
+	return e.segs[e.store.ShardFor(meterID)].SealedBlock(meterID, blk)
+}
+
+// --- server.Ingest --------------------------------------------------------
+
+// ErrClosed reports writes after Close.
+var ErrClosed = errors.New("storage: engine closed")
+
+// StartSession delegates to the store (sessions are not durable state).
+func (e *Engine) StartSession(meterID uint64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.store.StartSession(meterID)
+}
+
+// EndSession delegates to the store.
+func (e *Engine) EndSession(meterID uint64) { e.store.EndSession(meterID) }
+
+// Reserve delegates to the store.
+func (e *Engine) Reserve(meterID uint64, n int) error { return e.store.Reserve(meterID, n) }
+
+// PushTable logs the table, then commits it. The WAL write happens first —
+// recovery must know the table that decodes every logged batch.
+func (e *Engine) PushTable(meterID uint64, t *symbolic.Table) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if _, ok := e.store.Meter(meterID); !ok {
+		return fmt.Errorf("%w: %d", server.ErrUnknownMeter, meterID)
+	}
+	shard := e.store.ShardFor(meterID)
+	end, err := e.wals[shard].appendTable(meterID, t)
+	if err != nil {
+		return err
+	}
+	if e.opts.Sync == SyncAlways {
+		if err := e.wals[shard].syncTo(end); err != nil {
+			return err
+		}
+	}
+	if err := e.store.PushTable(meterID, t); err != nil {
+		return err
+	}
+	v, _ := e.meters.LoadOrStore(meterID, &meterMeta{epoch: -1})
+	mm := v.(*meterMeta)
+	mm.epoch++
+	mm.level = t.Level()
+	return nil
+}
+
+// Append validates the batch against the meter's current table, logs it,
+// waits for durability per the sync mode, then commits it to the store. The
+// validation runs before the log write so a rejected batch never poisons
+// the WAL — replay must be able to re-apply every logged record.
+func (e *Engine) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	v, ok := e.meters.Load(meterID)
+	if !ok {
+		if _, exists := e.store.Meter(meterID); !exists {
+			return 0, fmt.Errorf("%w: %d", server.ErrUnknownMeter, meterID)
+		}
+		return 0, fmt.Errorf("%w: %d", server.ErrNoTable, meterID)
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	mm := v.(*meterMeta)
+	for i := range pts {
+		if pts[i].S.Level() != mm.level {
+			return 0, fmt.Errorf("%w: point %d has level %d, table has level %d",
+				server.ErrBadSymbol, i, pts[i].S.Level(), mm.level)
+		}
+	}
+	shard := e.store.ShardFor(meterID)
+	end, err := e.wals[shard].appendBatch(meterID, uint32(mm.epoch), mm.level, pts)
+	if err != nil {
+		return 0, err
+	}
+	if e.opts.Sync == SyncAlways {
+		if err := e.wals[shard].syncTo(end); err != nil {
+			return 0, err
+		}
+	}
+	return e.store.Append(meterID, pts)
+}
+
+// --- Flush / Close --------------------------------------------------------
+
+// Flush makes everything committed so far durable and fast to recover:
+// every WAL is fsynced and every open segment is finished into the manifest
+// (so the next Open restores sealed data from footers instead of replaying
+// it). The store stays fully usable afterwards — published blocks keep
+// aliasing their mappings and the next seal opens a fresh segment. Ingest
+// must be quiesced while Flush runs.
+func (e *Engine) Flush() error {
+	var errs []error
+	for _, w := range e.wals {
+		if w != nil {
+			errs = append(errs, w.syncTo(w.written.Load()))
+		}
+	}
+	for _, sw := range e.segs {
+		errs = append(errs, sw.finish())
+	}
+	return errors.Join(errs...)
+}
+
+// Close flushes, closes the log files and releases the segment mappings.
+// The store must not be queried afterwards: spilled blocks alias the
+// mappings Close unmaps.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.stop != nil {
+		close(e.stop)
+		e.syncWG.Wait()
+	}
+	errs := []error{e.Flush()}
+	for _, w := range e.wals {
+		if w != nil {
+			errs = append(errs, w.close())
+		}
+	}
+	e.releaseMaps()
+	return errors.Join(errs...)
+}
+
+// Abandon releases the engine's file handles, goroutines and mappings
+// WITHOUT flushing or finishing anything — the programmatic stand-in for a
+// crash: on-disk state is exactly what a kill at this instant would leave
+// (open segments without footers, WAL synced only as far as the mode got).
+// The store must not be used afterwards. Tests and recovery benchmarks use
+// it to produce crash-shaped directories without leaking descriptors.
+func (e *Engine) Abandon() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if e.stop != nil {
+		close(e.stop)
+		e.syncWG.Wait()
+	}
+	for _, w := range e.wals {
+		if w != nil {
+			w.close()
+		}
+	}
+	for _, sw := range e.segs {
+		if sw != nil && sw.f != nil {
+			sw.f.Close()
+			sw.f = nil
+		}
+	}
+	e.releaseMaps()
+}
+
+func (e *Engine) trackMapping(m []byte) {
+	if m == nil {
+		return
+	}
+	e.mapsMu.Lock()
+	e.maps = append(e.maps, m)
+	e.mapsMu.Unlock()
+}
+
+func (e *Engine) releaseMaps() {
+	e.mapsMu.Lock()
+	defer e.mapsMu.Unlock()
+	for _, m := range e.maps {
+		munmapFile(m)
+	}
+	e.maps = nil
+}
+
+// addSegment records a finished segment in the manifest, atomically.
+func (e *Engine) addSegment(ms manifestSegment) error {
+	e.manMu.Lock()
+	defer e.manMu.Unlock()
+	e.man.Segments = append(e.man.Segments, ms)
+	return writeManifest(e.opts.Dir, e.man)
+}
+
+// groupSync is the SyncGroup background fsync loop: every interval, any
+// shard log with unsynced records gets one fsync. Errors stick to the wal
+// and surface on the next Flush/Close (and fail SyncAlways-style waiters).
+func (e *Engine) groupSync() {
+	defer e.syncWG.Done()
+	t := time.NewTicker(e.opts.GroupInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+		}
+		for _, w := range e.wals {
+			if w != nil && w.dirty() {
+				_ = w.syncTo(w.written.Load())
+			}
+		}
+	}
+}
+
+// DiskUsage reports the data directory's current WAL and segment byte
+// totals (the measured disk cost next to the store's MemoryFootprint).
+func (e *Engine) DiskUsage() (walBytes, segBytes int64, err error) {
+	err = filepath.WalkDir(e.opts.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		switch filepath.Ext(path) {
+		case ".wal":
+			walBytes += info.Size()
+		case ".seg":
+			segBytes += info.Size()
+		}
+		return nil
+	})
+	return walBytes, segBytes, err
+}

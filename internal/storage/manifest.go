@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The manifest is the data directory's root pointer: a small JSON document
+// naming every finished segment (in spill order per shard) plus the on-disk
+// format version and the shard count the directory was created with.
+// Recovery trusts only manifest-listed segments — an open segment at crash
+// time has no footer and is deleted, its blocks re-derived from the WAL.
+//
+// Updates are atomic: write to a temp file, fsync, rename over
+// MANIFEST.json, fsync the directory. A crash leaves either the old or the
+// new manifest, never a torn one.
+//
+// Format versioning rule (recorded in ROADMAP.md as the contract for future
+// PRs): a reader refuses a manifest whose format is NEWER than it knows
+// (fail loudly rather than misread), and must migrate OLDER formats forward
+// explicitly when the format ever changes.
+const (
+	manifestName   = "MANIFEST.json"
+	manifestFormat = 1
+)
+
+// ErrFormatTooNew reports a data directory written by a newer binary.
+var ErrFormatTooNew = errors.New("storage: data directory format is newer than this binary")
+
+type manifestSegment struct {
+	File  string `json:"file"`
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+}
+
+type manifest struct {
+	Format   int               `json:"format"`
+	Shards   int               `json:"shards"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+// loadManifest reads dir's manifest; ok is false when none exists (a fresh
+// directory).
+func loadManifest(dir string) (manifest, bool, error) {
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, false, nil
+	}
+	if err != nil {
+		return m, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, false, fmt.Errorf("storage: %s: %w", manifestName, err)
+	}
+	if m.Format > manifestFormat {
+		return m, false, fmt.Errorf("%w: format %d, this binary reads ≤ %d", ErrFormatTooNew, m.Format, manifestFormat)
+	}
+	if m.Format < 1 || m.Shards < 1 {
+		return m, false, fmt.Errorf("storage: %s: implausible format %d / shards %d", manifestName, m.Format, m.Shards)
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir's manifest.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best-effort: filesystems that refuse directory fsync (overlayfs in some CI
+// containers) still performed the rename atomically, which is the property
+// recovery depends on.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+const canMmap = false
+
+// mmapFile on platforms without a usable mmap reads the region into the
+// heap: sealed blocks stay resident, everything else behaves identically.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func munmapFile(b []byte) error { return nil }

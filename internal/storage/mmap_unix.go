@@ -1,0 +1,32 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// canMmap reports whether this platform serves segment payloads straight
+// from a shared read-only mapping (the cold-read path). Where it is false,
+// segment bytes are read into the heap instead — correctness is identical,
+// only residency differs.
+const canMmap = true
+
+// mmapFile maps length bytes of f read-only and shared. A shared mapping is
+// coherent with write(2) on the same file under the unified page cache, so
+// the open segment's writer appends through the fd while already-published
+// blocks are served from the very same pages.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping obtained from mmapFile. Callers must prove
+// no published block still aliases it (the engine unmaps only on Close,
+// after the store has stopped serving).
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,446 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"symmeter/internal/symbolic"
+)
+
+// Per-shard write-ahead log.
+//
+// Every table push and every Store.Append batch is framed into the shard's
+// log before it commits to the in-memory store, so the log's record sequence
+// is, per meter, exactly the ingest history — replaying it through the
+// normal Append path rebuilds byte-identical block chains. Records from
+// different meters of one shard interleave in commit order, which is
+// irrelevant to recovery (records carry their meter ID and each meter's
+// subsequence is totally ordered by its single session).
+//
+// Record framing:
+//
+//	n(uint32 BE) | ^n(uint32 BE) | crc32c(body)(uint32 BE) | body
+//	body = type(1) | payload
+//
+// The redundant ^n field plus a forward resync scan let replay tell a torn
+// tail from corruption. A process crash can only leave a byte *prefix* of
+// the last write, but an OS or power crash can persist the final record's
+// pages out of order — a complete-looking header over a damaged body, or
+// vice versa — so "in bounds" alone cannot condemn a file. Replay therefore
+// applies two rules:
+//
+//   - Damage with NO structurally valid record anywhere after it is a torn
+//     tail: everything before it is intact, the damaged region was the last
+//     thing in flight (and was never acknowledged as durable under the sync
+//     mode in use when the failure could lose it), and the file is
+//     truncated back to the last whole record.
+//   - Damage *followed by* a valid record — a flipped bit in the middle of
+//     the log — is corruption and fails recovery loudly with ErrWALCorrupt:
+//     records after the damage are readable and acknowledged, and the log
+//     never silently drops them.
+//
+// The resync scan walks the remaining bytes with the cheap n == ^inv header
+// probe and confirms a candidate only if its CRC also matches, so random
+// damage cannot fake a successor record (probability ~2^-64 per offset).
+//
+// Record types:
+//
+//	'T': meterID(uint64) | symbolic.MarshalTable bytes
+//	'B': meterID(uint64) | epoch(uint32) | level(uint8) | kind(uint8) |
+//	     count(uint32) | timestamps | packed symbols (headerless, MSB-first)
+//	     kind 0 (arithmetic): timestamps = firstT(int64) | stride(int64)
+//	     kind 1 (explicit):   timestamps = count × int64
+//
+// Batches off the wire are arithmetic in practice (the transport already
+// reconstructs firstT + i·window), so kind 0 — 16 bytes for any batch — is
+// the hot encoding; kind 1 keeps the log lossless for arbitrary Append
+// callers.
+const (
+	walHeaderLen = 12
+	recTable     = 'T'
+	recBatch     = 'B'
+	// maxWALRecord bounds a record body against corrupted length fields,
+	// mirroring the transport's frame cap.
+	maxWALRecord = 16 << 20
+)
+
+// crcC is the Castagnoli table (CRC-32C, the storage-standard polynomial
+// with hardware support on current CPUs).
+var crcC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALCorrupt reports WAL bytes that are damaged somewhere other than a
+// torn tail; recovery refuses to guess and fails loudly.
+var ErrWALCorrupt = errors.New("storage: wal corrupt")
+
+// SyncMode selects the WAL durability/latency trade (see the README's
+// fsync-vs-throughput numbers).
+type SyncMode int
+
+const (
+	// SyncOff never fsyncs: a batch is acknowledged once write(2) returns,
+	// which survives process death (kill -9) but not OS/power failure.
+	SyncOff SyncMode = iota
+	// SyncGroup acknowledges after write(2) and lets a background syncer
+	// fsync all shard logs on a short interval: OS-crash loss is bounded by
+	// that interval, per-append latency stays at SyncOff levels.
+	SyncGroup
+	// SyncAlways blocks each append until an fsync covers its record.
+	// Concurrent appenders share fsyncs leader-style (group commit), so the
+	// cost amortizes across sessions, not per batch.
+	SyncAlways
+)
+
+// ParseSyncMode maps the -fsync flag values off|group|always.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "off":
+		return SyncOff, nil
+	case "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync mode %q (want off, group or always)", s)
+}
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// wal is one shard's append-only log.
+type wal struct {
+	mu  sync.Mutex // serializes record assembly + write
+	f   *os.File
+	buf []byte // record assembly scratch, reused across appends
+
+	// written is the end offset of the last fully-written record, read by
+	// the sync side without the append lock.
+	written atomic.Int64
+
+	// Leader-based group commit: the first waiter past the synced watermark
+	// runs the fsync for everyone behind it.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	syncing  bool
+	synced   int64
+	syncErr  error
+}
+
+func newWAL(f *os.File, off int64) *wal {
+	w := &wal{f: f}
+	w.written.Store(off)
+	w.synced = off
+	w.syncCond = sync.NewCond(&w.syncMu)
+	return w
+}
+
+// appendRecord frames body (type byte already first) and writes it in a
+// single Write, returning the record's end offset. The caller owns making
+// body through beginRecord/w.buf under w.mu; appendRecord is called with
+// w.mu held.
+func (w *wal) writeLocked(buf []byte) (int64, error) {
+	bodyLen := len(buf) - walHeaderLen
+	binary.BigEndian.PutUint32(buf[0:], uint32(bodyLen))
+	binary.BigEndian.PutUint32(buf[4:], ^uint32(bodyLen))
+	binary.BigEndian.PutUint32(buf[8:], crc32.Checksum(buf[walHeaderLen:], crcC))
+	if _, err := w.f.Write(buf); err != nil {
+		// A partial append leaves a torn tail — exactly what replay
+		// tolerates — but this wal must not write behind it.
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	end := w.written.Add(int64(len(buf)))
+	return end, nil
+}
+
+// walHdrZero is the placeholder the record builders reserve up front and
+// writeLocked fills in, keeping assembly append-only and allocation-free.
+var walHdrZero [walHeaderLen]byte
+
+// appendTable logs a table push.
+func (w *wal) appendTable(meterID uint64, t *symbolic.Table) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf := append(w.buf[:0], walHdrZero[:]...)
+	buf = append(buf, recTable)
+	buf = binary.BigEndian.AppendUint64(buf, meterID)
+	buf = append(buf, symbolic.MarshalTable(t)...)
+	w.buf = buf
+	return w.writeLocked(buf)
+}
+
+// appendBatch logs one Append batch under the meter's current epoch.
+func (w *wal) appendBatch(meterID uint64, epoch uint32, level int, pts []symbolic.SymbolPoint) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf := append(w.buf[:0], walHdrZero[:]...)
+	buf = append(buf, recBatch)
+	buf = binary.BigEndian.AppendUint64(buf, meterID)
+	buf = binary.BigEndian.AppendUint32(buf, epoch)
+	buf = append(buf, byte(level))
+	kind := byte(0)
+	if !arithmetic(pts) {
+		kind = 1
+	}
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pts)))
+	if kind == 0 {
+		var firstT, stride int64
+		if len(pts) > 0 {
+			firstT = pts[0].T
+		}
+		if len(pts) > 1 {
+			stride = pts[1].T - pts[0].T
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(firstT))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(stride))
+	} else {
+		for i := range pts {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(pts[i].T))
+		}
+	}
+	buf = appendPackedPoints(buf, pts, level)
+	w.buf = buf
+	return w.writeLocked(buf)
+}
+
+// arithmetic reports whether the batch timestamps form one arithmetic
+// progression (any common difference, including zero), the compact WAL
+// encoding.
+func arithmetic(pts []symbolic.SymbolPoint) bool {
+	if len(pts) < 3 {
+		return true
+	}
+	stride := pts[1].T - pts[0].T
+	for i := 2; i < len(pts); i++ {
+		if pts[i].T-pts[i-1].T != stride {
+			return false
+		}
+	}
+	return true
+}
+
+// appendPackedPoints packs the batch symbols MSB-first at the given level —
+// the codec's headerless bit layout (count and level live in the record).
+func appendPackedPoints(dst []byte, pts []symbolic.SymbolPoint, level int) []byte {
+	var acc uint64
+	accBits := 0
+	for i := range pts {
+		acc = acc<<uint(level) | uint64(pts[i].S.Index())
+		accBits += level
+		for accBits >= 8 {
+			accBits -= 8
+			dst = append(dst, byte(acc>>uint(accBits)))
+		}
+	}
+	if accBits > 0 {
+		dst = append(dst, byte(acc<<uint(8-accBits)))
+	}
+	return dst
+}
+
+// syncTo blocks until an fsync covers offset upto. The first blocked caller
+// becomes the leader and syncs everything written so far; later callers
+// piggyback on that fsync or the next one.
+func (w *wal) syncTo(upto int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.synced >= upto {
+			return nil
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		target := w.written.Load()
+		w.syncMu.Unlock()
+		err := w.f.Sync()
+		w.syncMu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.syncErr = fmt.Errorf("storage: wal fsync: %w", err)
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.syncCond.Broadcast()
+	}
+}
+
+// dirty reports whether written records are not yet covered by an fsync —
+// what the SyncGroup background syncer polls.
+func (w *wal) dirty() bool {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.syncErr == nil && w.synced < w.written.Load()
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// --- Replay ----------------------------------------------------------------
+
+// walRecord is one parsed record plus its end offset in the file (the
+// truncation point if everything after it turns out torn).
+type walRecord struct {
+	typ  byte
+	data []byte // payload after the type byte, aliasing the read buffer
+	end  int64
+}
+
+// parseWAL splits raw log bytes into records, applying the torn-tail rules
+// from the package comment. valid is the byte length of the intact prefix;
+// torn reports whether trailing bytes were dropped as a torn write.
+func parseWAL(data []byte) (recs []walRecord, valid int64, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		rem := len(data) - off
+		bad := ""
+		switch n, inv := headerAt(data, off); {
+		case rem < walHeaderLen:
+			bad = "partial header"
+		case inv != ^n:
+			bad = "inconsistent record header"
+		case n < 1 || n > maxWALRecord:
+			bad = fmt.Sprintf("impossible record length %d", n)
+		case rem < walHeaderLen+int(n):
+			bad = "partial body"
+		case crc32.Checksum(data[off+walHeaderLen:off+walHeaderLen+int(n)], crcC) != binary.BigEndian.Uint32(data[off+8:]):
+			bad = "record CRC mismatch"
+		default:
+			body := data[off+walHeaderLen : off+walHeaderLen+int(n)]
+			off += walHeaderLen + int(n)
+			recs = append(recs, walRecord{typ: body[0], data: body[1:], end: int64(off)})
+			continue
+		}
+		// Damage. A torn final write (process or OS crash) leaves nothing
+		// readable behind it; damage with an intact record after it is
+		// mid-log corruption and acknowledged data would be lost silently
+		// by truncating here.
+		if nextValidRecord(data, off+1) {
+			return nil, 0, false, fmt.Errorf("%w: %s at offset %d with intact records after it", ErrWALCorrupt, bad, off)
+		}
+		return recs, int64(off), true, nil
+	}
+	return recs, int64(off), false, nil
+}
+
+// headerAt reads a record header's length fields (zero when fewer than 8
+// bytes remain — the caller's bounds checks fire first).
+func headerAt(data []byte, off int) (n, inv uint32) {
+	if len(data)-off < 8 {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint32(data[off:]), binary.BigEndian.Uint32(data[off+4:])
+}
+
+// nextValidRecord reports whether any offset at or after from starts a
+// structurally valid record (consistent header, plausible length, matching
+// body CRC). The header probe is 8 bytes and self-checking, so the CRC —
+// the expensive part — runs only on the ~2^-32 of offsets that pass it.
+func nextValidRecord(data []byte, from int) bool {
+	for off := from; off+walHeaderLen < len(data); off++ {
+		n, inv := headerAt(data, off)
+		if inv != ^n || n < 1 || n > maxWALRecord {
+			continue
+		}
+		if len(data)-off < walHeaderLen+int(n) {
+			continue
+		}
+		if crc32.Checksum(data[off+walHeaderLen:off+walHeaderLen+int(n)], crcC) == binary.BigEndian.Uint32(data[off+8:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// batchRecord is a decoded 'B' record.
+type batchRecord struct {
+	meterID uint64
+	epoch   uint32
+	level   int
+	pts     []symbolic.SymbolPoint
+}
+
+// decodeBatch parses a 'B' record payload, reusing the caller's point and
+// symbol scratch. Every field is bounds-checked: the payload is disk input.
+func decodeBatch(data []byte, ptsScratch []symbolic.SymbolPoint, symScratch []symbolic.Symbol) (batchRecord, []symbolic.SymbolPoint, []symbolic.Symbol, error) {
+	var br batchRecord
+	if len(data) < 18 {
+		return br, ptsScratch, symScratch, fmt.Errorf("%w: batch record of %d bytes", ErrWALCorrupt, len(data))
+	}
+	br.meterID = binary.BigEndian.Uint64(data[0:])
+	br.epoch = binary.BigEndian.Uint32(data[8:])
+	br.level = int(data[12])
+	kind := data[13]
+	count := int(binary.BigEndian.Uint32(data[14:]))
+	if br.level < 1 || br.level > symbolic.MaxLevel {
+		return br, ptsScratch, symScratch, fmt.Errorf("%w: batch at level %d", ErrWALCorrupt, br.level)
+	}
+	if kind > 1 {
+		return br, ptsScratch, symScratch, fmt.Errorf("%w: batch timestamp kind %d", ErrWALCorrupt, kind)
+	}
+	rest := data[18:]
+	tsBytes := 16
+	if kind == 1 {
+		tsBytes = 8 * count
+	}
+	packedBytes := (count*br.level + 7) / 8
+	if count < 1 || len(rest) != tsBytes+packedBytes {
+		return br, ptsScratch, symScratch, fmt.Errorf("%w: batch of %d points with %d trailing bytes, want %d", ErrWALCorrupt, count, len(rest), tsBytes+packedBytes)
+	}
+	symScratch = symbolic.AppendUnpackRange(symScratch[:0], rest[tsBytes:], br.level, 0, count)
+	if cap(ptsScratch) < count {
+		ptsScratch = make([]symbolic.SymbolPoint, count)
+	}
+	pts := ptsScratch[:count]
+	if kind == 0 {
+		firstT := int64(binary.BigEndian.Uint64(rest[0:]))
+		stride := int64(binary.BigEndian.Uint64(rest[8:]))
+		for i := range pts {
+			pts[i] = symbolic.SymbolPoint{T: firstT + int64(i)*stride, S: symScratch[i]}
+		}
+	} else {
+		for i := range pts {
+			pts[i] = symbolic.SymbolPoint{T: int64(binary.BigEndian.Uint64(rest[8*i:])), S: symScratch[i]}
+		}
+	}
+	br.pts = pts
+	return br, ptsScratch, symScratch, nil
+}
+
+// decodeTable parses a 'T' record payload.
+func decodeTable(data []byte) (uint64, *symbolic.Table, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: table record of %d bytes", ErrWALCorrupt, len(data))
+	}
+	t, err := symbolic.UnmarshalTable(data[8:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+	}
+	return binary.BigEndian.Uint64(data[0:]), t, nil
+}
