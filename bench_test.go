@@ -494,6 +494,31 @@ func BenchmarkIngestUnderReaders(b *testing.B) {
 	b.Run("readers=4", func(b *testing.B) { benchref.BenchIngestLatency(b, 4) })
 }
 
+// BenchmarkNetQuery measures the remote query path: the fixture engine
+// served over loopback TCP, queried through pkg/client on one reused
+// connection — plus hot-meter Append latency with the slow readers moved
+// behind the socket. Bodies live in internal/benchref so cmd/bench
+// (BENCH_6.json) measures identical code.
+func BenchmarkNetQuery(b *testing.B) {
+	st, err := benchref.MakeQueryStore(benchref.QueryFixtureMeters, benchref.QueryFixturePoints)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, stop, err := benchref.StartNetQuery(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	total := benchref.QueryFixtureMeters * benchref.QueryFixturePoints
+	wt0, wt1, wpts := benchref.QueryWindow()
+	eng := query.New(st)
+	b.Run("fleet-sum", func(b *testing.B) { benchref.BenchNetFleetSum(b, addr, total) })
+	b.Run("meter-window", func(b *testing.B) { benchref.BenchNetMeterWindow(b, addr, 1, wt0, wt1, wpts) })
+	b.Run("window-latency-wire", func(b *testing.B) { benchref.BenchNetWindowLatency(b, addr, 1, wt0, wt1, wpts) })
+	b.Run("window-latency-inproc", func(b *testing.B) { benchref.BenchInprocWindowLatency(b, eng, 1, wt0, wt1, wpts) })
+	b.Run("ingest-under-net-readers", func(b *testing.B) { benchref.BenchIngestLatencyNet(b, 4) })
+}
+
 // BenchmarkStoreAppend measures committing one decoded day-batch into the
 // sharded packed block store — the per-batch cost behind fleet ingest.
 // Capacity is reserved up front, so the measured path is pure validate +

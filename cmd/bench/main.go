@@ -6,7 +6,7 @@
 // results as JSON, so every PR's perf trajectory is recorded as an artifact
 // instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_5.json
+//	bench                         # writes BENCH_6.json
 //	bench -out /tmp/b.json -benchtime 100ms
 //	bench -cpuprofile cpu.out     # profile the query path
 //
@@ -20,7 +20,10 @@
 // schema 5 — a persist section: ingest latency through the write-ahead log
 // per fsync mode (with the WAL-off/in-memory p50 ratio the 2x acceptance
 // bound reads), recovery throughput from finished segments vs pure WAL
-// replay, and cold queries over mmap-backed spilled blocks.
+// replay, and cold queries over mmap-backed spilled blocks. Schema 6 adds a
+// netquery section: the same aggregates asked through pkg/client over
+// loopback TCP — wire vs in-process window latency (protocol overhead) and
+// hot-meter ingest latency while net-query readers run.
 package main
 
 import (
@@ -96,7 +99,25 @@ type PersistStats struct {
 	ResidentBytesPerPt   float64 `json:"resident_bytes_per_point"`
 }
 
-// Report is the BENCH_5.json document.
+// NetQueryStats is the remote-query section: single-meter window latency
+// through pkg/client over loopback TCP vs the same aggregate in-process (the
+// ratio is pure protocol + socket cost, both sides run the identical
+// engine), and hot-meter Append latency while net-query readers run — the
+// remote continuation of the lock-free-reads acceptance (the p50 must sit
+// where the in-memory readers leave it). Latency contention numbers are
+// recorded, not gated; the netquery/* throughputs in Results join the
+// benchdiff gate once a baseline carrying them exists.
+type NetQueryStats struct {
+	WireWindowP50Ns       float64 `json:"wire_window_p50_ns"`
+	WireWindowP99Ns       float64 `json:"wire_window_p99_ns"`
+	InprocWindowP50Ns     float64 `json:"inproc_window_p50_ns"`
+	InprocWindowP99Ns     float64 `json:"inproc_window_p99_ns"`
+	WireOverInprocP50     float64 `json:"wire_over_inproc_p50"`
+	IngestP50NetReadersNs float64 `json:"ingest_p50_net_readers_ns"`
+	IngestP99NetReadersNs float64 `json:"ingest_p99_net_readers_ns"`
+}
+
+// Report is the BENCH_6.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
@@ -108,6 +129,7 @@ type Report struct {
 	Memory   MemoryStats        `json:"memory"`
 	Mixed    MixedStats         `json:"mixed"`
 	Persist  PersistStats       `json:"persist"`
+	NetQuery NetQueryStats      `json:"netquery"`
 }
 
 func main() {
@@ -120,7 +142,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath    = fs.String("out", "BENCH_5.json", "output JSON path")
+		outPath    = fs.String("out", "BENCH_6.json", "output JSON path")
 		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -144,7 +166,7 @@ func run(args []string, out io.Writer) error {
 	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/5",
+		Schema:   "symmeter-bench/6",
 		Go:       runtime.Version(),
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,
@@ -341,6 +363,37 @@ func run(args []string, out io.Writer) error {
 	rep.Persist.ResidentBytesPerPt = float64(pBytes) / float64(pPoints)
 	fmt.Fprintf(out, "persist: %.2f B/point resident with spilled payloads; on disk %d WAL + %d segment bytes for %d points\n",
 		rep.Persist.ResidentBytesPerPt, rep.Persist.WALBytes, rep.Persist.SegmentBytes, pPoints)
+
+	// Remote query: the fixture engine served over loopback TCP, queried
+	// through pkg/client on one reused connection. Throughputs land in
+	// Results (netquery/*); the wire-vs-in-process window latency and the
+	// ingest latency under wire readers land in the NetQuery section.
+	netAddr, netStop, err := benchref.StartNetQuery(st)
+	if err != nil {
+		return err
+	}
+	record("netquery/fleet-sum", total, func(b *testing.B) { benchref.BenchNetFleetSum(b, netAddr, total) })
+	record("netquery/meter-window", wpts, func(b *testing.B) {
+		benchref.BenchNetMeterWindow(b, netAddr, 1, wt0, wt1, wpts)
+	})
+	wire := bestLatency(func(b *testing.B) { benchref.BenchNetWindowLatency(b, netAddr, 1, wt0, wt1, wpts) })
+	inproc := bestLatency(func(b *testing.B) { benchref.BenchInprocWindowLatency(b, eng, 1, wt0, wt1, wpts) })
+	netStop()
+	rep.NetQuery.WireWindowP50Ns = wire.Extra["p50-ns"]
+	rep.NetQuery.WireWindowP99Ns = wire.Extra["p99-ns"]
+	rep.NetQuery.InprocWindowP50Ns = inproc.Extra["p50-ns"]
+	rep.NetQuery.InprocWindowP99Ns = inproc.Extra["p99-ns"]
+	if rep.NetQuery.InprocWindowP50Ns > 0 {
+		rep.NetQuery.WireOverInprocP50 = rep.NetQuery.WireWindowP50Ns / rep.NetQuery.InprocWindowP50Ns
+	}
+	fmt.Fprintf(out, "netquery/meter-window latency wire p50 %.0f ns, p99 %.0f ns; in-process p50 %.0f ns, p99 %.0f ns (%.1fx over in-process)\n",
+		rep.NetQuery.WireWindowP50Ns, rep.NetQuery.WireWindowP99Ns,
+		rep.NetQuery.InprocWindowP50Ns, rep.NetQuery.InprocWindowP99Ns, rep.NetQuery.WireOverInprocP50)
+	netReaders := bestLatency(func(b *testing.B) { benchref.BenchIngestLatencyNet(b, 4) })
+	rep.NetQuery.IngestP50NetReadersNs = netReaders.Extra["p50-ns"]
+	rep.NetQuery.IngestP99NetReadersNs = netReaders.Extra["p99-ns"]
+	fmt.Fprintf(out, "netquery/ingest-latency under 4 wire readers p50 %.0f ns, p99 %.0f ns (solo p50 %.0f ns)\n",
+		rep.NetQuery.IngestP50NetReadersNs, rep.NetQuery.IngestP99NetReadersNs, rep.Mixed.IngestP50SoloNs)
 
 	bytes, points := st.MemoryFootprint()
 	rep.Memory = MemoryStats{

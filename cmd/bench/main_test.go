@@ -9,7 +9,7 @@ import (
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_5.json structure.
+// validates the BENCH_6.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,11 +24,11 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/5" {
+	if rep.Schema != "symmeter-bench/6" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Results) != 17 {
-		t.Fatalf("got %d results, want 17", len(rep.Results))
+	if len(rep.Results) != 19 {
+		t.Fatalf("got %d results, want 19", len(rep.Results))
 	}
 	names := map[string]Result{}
 	for _, r := range rep.Results {
@@ -45,6 +45,7 @@ func TestRunSmoke(t *testing.T) {
 		"persist/append-batch96", "persist/recover-segments",
 		"persist/recover-replay", "persist/fleet-sum-cold",
 		"persist/meter-window-cold",
+		"netquery/fleet-sum", "netquery/meter-window",
 	} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing benchmark %q", want)
@@ -101,6 +102,23 @@ func TestRunSmoke(t *testing.T) {
 	if rep.Persist.ResidentBytesPerPt >= rep.Memory.PackedBytesPerPoint {
 		t.Fatalf("spilled store resident %.2f B/pt ≥ in-memory %.2f B/pt",
 			rep.Persist.ResidentBytesPerPt, rep.Memory.PackedBytesPerPoint)
+	}
+	// The netquery section must carry both sides of the wire-overhead ratio
+	// and the ingest percentiles under wire readers (values are
+	// load-sensitive; presence and basic sanity are the contract).
+	if rep.NetQuery.WireWindowP50Ns <= 0 || rep.NetQuery.WireWindowP99Ns <= 0 ||
+		rep.NetQuery.InprocWindowP50Ns <= 0 || rep.NetQuery.InprocWindowP99Ns <= 0 ||
+		rep.NetQuery.WireOverInprocP50 <= 0 {
+		t.Fatalf("netquery latency section incomplete: %+v", rep.NetQuery)
+	}
+	// A wire round trip can't be cheaper than the in-process aggregate it
+	// wraps; the inverse would mean the two benches measure different work.
+	if rep.NetQuery.WireWindowP50Ns < rep.NetQuery.InprocWindowP50Ns {
+		t.Fatalf("wire p50 %.0f ns < in-process p50 %.0f ns",
+			rep.NetQuery.WireWindowP50Ns, rep.NetQuery.InprocWindowP50Ns)
+	}
+	if rep.NetQuery.IngestP50NetReadersNs <= 0 || rep.NetQuery.IngestP99NetReadersNs <= 0 {
+		t.Fatalf("netquery ingest latency percentiles missing: %+v", rep.NetQuery)
 	}
 }
 

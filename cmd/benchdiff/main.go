@@ -1,19 +1,19 @@
 // Command benchdiff is the CI bench-regression gate: it compares the
 // symbols/sec throughput of matching benchmarks between a committed baseline
-// report (BENCH_4.json) and a freshly-measured one (BENCH_5.json) and fails
+// report (BENCH_5.json) and a freshly-measured one (BENCH_6.json) and fails
 // when any compared benchmark regressed by more than the allowed fraction.
 // Every problem — all regressed benchmarks and all benchmarks missing from
 // the current report — is gathered and reported in one run, so a failing CI
 // log shows the full regression set rather than the first casualty.
 //
-//	benchdiff -baseline BENCH_4.json -current BENCH_5.json -max-regress 0.20
+//	benchdiff -baseline BENCH_5.json -current BENCH_6.json -max-regress 0.20
 //
-// The codec benchmarks (pack/*, unpack/*) and the compressed-domain query
-// benchmarks (query/*) are compared by default: both workloads are
-// identical across report schemas, so a slowdown is a real kernel or
-// query-path regression rather than a fixture change. Store benchmarks
-// change shape as the storage engine evolves; they are tracked by
-// inspection of the uploaded artifacts instead.
+// The codec benchmarks (pack/*, unpack/*), the compressed-domain query
+// benchmarks (query/*) and the remote-query benchmarks (netquery/*) are
+// compared by default: the workloads are identical across report schemas, so
+// a slowdown is a real kernel, query-path or wire-path regression rather
+// than a fixture change. Store benchmarks change shape as the storage engine
+// evolves; they are tracked by inspection of the uploaded artifacts instead.
 //
 // Ruler choice matters: a ruler must be a pure CPU kernel so its ratio to
 // the gated benchmark is hardware-invariant. The codec families use their
@@ -23,7 +23,11 @@
 // twins: those allocate megabytes per op, their throughput swings ±30% with
 // allocator and GC state on identical code, and a gate on that ratio fails
 // on weather. The baseline twins stay in the artifact for the speedup
-// headline; they are just not a precision instrument.
+// headline; they are just not a precision instrument. The netquery family is
+// normalized by its same-run in-process engine twin (netquery/X →
+// query/X): both run the identical engine on the identical fixture, so the
+// ratio is pure protocol + loopback-socket overhead, which neither CPU speed
+// nor allocator state moves — a regression there is real wire-path code.
 //
 // The committed baseline was measured on a different machine than CI runs
 // on, so absolute symbols/sec would gate hardware variance, not code. Each
@@ -71,10 +75,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_4.json", "committed baseline report")
-		currentPath  = fs.String("current", "BENCH_5.json", "freshly-measured report")
+		baselinePath = fs.String("baseline", "BENCH_5.json", "committed baseline report")
+		currentPath  = fs.String("current", "BENCH_6.json", "freshly-measured report")
 		maxRegress   = fs.Float64("max-regress", 0.20, "maximum allowed throughput regression fraction")
-		prefixes     = fs.String("prefixes", "pack/,unpack/,query/", "comma-separated benchmark name prefixes to compare")
+		prefixes     = fs.String("prefixes", "pack/,unpack/,query/,netquery/", "comma-separated benchmark name prefixes to compare")
 		exclude      = fs.String("exclude", "pack/word,unpack/word,query/meter-window", "comma-separated exact benchmark names to skip (allocator-noise-dominated or ruler-less)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -185,18 +189,22 @@ func rates(r *report) map[string]float64 {
 
 // normalizer returns the throughput of name's frozen same-run ruler within
 // the same report — the bit-at-a-time twin for the codec families
-// ("pack/…" → "pack/bitwise") and the bit-at-a-time decoder for the query
+// ("pack/…" → "pack/bitwise"), the bit-at-a-time decoder for the query
 // family (a pure integer kernel, so the ratio cancels hardware; see the
 // package comment for why the allocation-heavy decode-then-aggregate twins
-// are not used) — or 0 when the report has none (callers then compare
-// absolutes).
+// are not used), and the same-run in-process engine twin for the netquery
+// family ("netquery/X" → "query/X", so the gated quantity is wire overhead
+// alone) — or 0 when the report has none (callers then compare absolutes).
 func normalizer(rates map[string]float64, name string) float64 {
-	family, _, ok := strings.Cut(name, "/")
+	family, rest, ok := strings.Cut(name, "/")
 	if !ok {
 		return 0
 	}
-	if family == "query" {
+	switch family {
+	case "query":
 		return rates["unpack/bitwise"]
+	case "netquery":
+		return rates["query/"+rest]
 	}
 	return rates[family+"/bitwise"]
 }

@@ -22,6 +22,16 @@
 //	                                       # (stored data starts after the 2 training days)
 //	serve -data-dir /var/lib/symmeter -fsync group   # durable ingest + recovery
 //	serve -cpuprofile cpu.out        # profile ingest + query
+//	serve -query-addr 127.0.0.1:7700 # dedicated query-only listener
+//	serve -idle-timeout 30s          # reap silent connections after 30s
+//
+// The listener also answers remote queries: a connection whose first frame
+// is a query request ('Q') is dispatched to the compressed-domain engine
+// instead of the ingest path, with at most -query-conc queries executing
+// per connection. -query-addr adds a second, query-only listener (ingest
+// handshakes are refused there). After the fleet run the binary asks its
+// own fleet aggregate once more through pkg/client over TCP and checks it
+// against the in-process answer — the wire demo of the §2 story.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"symmeter/internal/server"
 	"symmeter/internal/storage"
 	"symmeter/internal/symbolic"
+	"symmeter/pkg/client"
 )
 
 func main() {
@@ -65,6 +76,9 @@ func run(args []string, out io.Writer) (err error) {
 		qto        = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
 		qworkers   = fs.Int("qworkers", 0, "fleet-query worker pool size (0 = GOMAXPROCS)")
 		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
+		queryAddr  = fs.String("query-addr", "", "additional query-only listen address (queries are always served on -addr too)")
+		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "reap connections silent past this; 0 disables")
+		queryConc  = fs.Int("query-conc", 0, "max concurrently executing queries per connection (0 = default)")
 		dataDir    = fs.String("data-dir", "", "durable storage directory (WAL + segments); empty = in-memory only")
 		fsyncMode  = fs.String("fsync", "group", "WAL durability with -data-dir: off, group or always")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,19 +137,38 @@ func run(args []string, out io.Writer) (err error) {
 	// Each meter will stream one symbol per window; reserving that capacity
 	// at handshake keeps the per-batch store commits allocation-free.
 	svc := server.New(server.Config{
-		Shards:        *shards,
-		ReservePoints: fleetCfg.ExpectedPointsPerMeter(),
-		Store:         recovered,
+		Shards:           *shards,
+		ReservePoints:    fleetCfg.ExpectedPointsPerMeter(),
+		Store:            recovered,
+		IdleTimeout:      *idleTO,
+		QueryConcurrency: *queryConc,
 	})
 	if eng != nil {
 		svc.SetIngest(eng)
 	}
+	// The compressed-domain engine answers both the summary printed below and
+	// any remote query connection; registering it before Listen means the
+	// first accepted stream can already be a query.
+	qe := query.New(svc.Store())
+	if *qworkers > 0 {
+		qe.SetWorkers(*qworkers)
+	}
+	svc.SetQueryHandler(qe)
 	bound, err := svc.Listen(*addr)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	fmt.Fprintf(out, "server listening on %s (%d shards)\n", bound, svc.Store().NumShards())
+	qbound := bound
+	if *queryAddr != "" {
+		qb, err := svc.ListenQuery(*queryAddr)
+		if err != nil {
+			return err
+		}
+		qbound = qb
+		fmt.Fprintf(out, "query listener on %s\n", qb)
+	}
 
 	// SIGINT/SIGTERM drain cleanly — finish reading what connected sensors
 	// already sent, flush storage — instead of dying mid-frame.
@@ -176,8 +209,30 @@ func run(args []string, out io.Writer) (err error) {
 	if !svc.AwaitSessions(connected, 30*time.Second) {
 		fmt.Fprintf(out, "warning: timed out waiting for %d sessions to finish; results may be incomplete\n", connected)
 	}
-	svc.Drain()
 	elapsed := time.Since(start)
+	t0, t1 := *qfrom, *qto
+	if t1 <= 0 {
+		// Unbounded: only a point at exactly MaxInt64 is unreachable by a
+		// half-open range, so this matches the stored total.
+		t1 = math.MaxInt64
+	}
+	// Every ingest session has finished, so the store is complete: ask the
+	// fleet aggregate through the wire now, while the listeners are still up
+	// — pkg/client speaks the 'Q'/'R' frame protocol to the listener the
+	// meters used (or the dedicated -query-addr one), and Drain below would
+	// otherwise wait on the open query session.
+	wc, err := client.Dial(qbound.String())
+	if err != nil {
+		return fmt.Errorf("wire query dial: %w", err)
+	}
+	wstart := time.Now()
+	wagg, werr := wc.FleetAggregate(t0, t1)
+	welapsed := time.Since(wstart)
+	wc.Close()
+	if werr != nil {
+		return fmt.Errorf("wire query: %w", werr)
+	}
+	svc.Drain()
 	rep.Evaluate(svc.Store())
 
 	const maxLines = 16
@@ -198,16 +253,6 @@ func run(args []string, out io.Writer) (err error) {
 	// block summaries plus LUT edge kernels over the RCU-published sealed
 	// indexes, a bounded worker pool over the shards — not by reconstructing
 	// streams, and (for sealed data) without taking any shard lock.
-	qe := query.New(svc.Store())
-	if *qworkers > 0 {
-		qe.SetWorkers(*qworkers)
-	}
-	t0, t1 := *qfrom, *qto
-	if t1 <= 0 {
-		// Unbounded: only a point at exactly MaxInt64 is unreachable by a
-		// half-open range, so this matches the stored total.
-		t1 = math.MaxInt64
-	}
 	qstart := time.Now()
 	agg := qe.FleetAggregate(t0, t1)
 	qelapsed := time.Since(qstart)
@@ -232,6 +277,14 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		fmt.Fprintf(out, "query: histogram (level %d): %v\n", h.Level, h.Counts)
 	}
+
+	// The wire answer from before the drain must agree with the in-process
+	// engine on the identical frozen store.
+	if wagg.Count != agg.Count {
+		return fmt.Errorf("wire query saw %d points, in-process saw %d", wagg.Count, agg.Count)
+	}
+	fmt.Fprintf(out, "netquery: fleet mean %.1f W over %d points via pkg/client in %v — matches in-process\n",
+		wagg.Mean(), wagg.Count, welapsed.Round(time.Microsecond))
 
 	st := svc.Stats()
 	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",

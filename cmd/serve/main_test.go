@@ -31,6 +31,8 @@ func TestServeEndToEnd(t *testing.T) {
 		"symbols/sec)",
 		"compressed-domain",
 		"query: fleet mean",
+		"netquery: fleet mean",
+		"matches in-process",
 		"bytes in",
 		"session errors: 0",
 	} {
@@ -72,6 +74,31 @@ func TestServeHistogramAndProfiles(t *testing.T) {
 		fi, err := os.Stat(p)
 		if err != nil || fi.Size() == 0 {
 			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}
+
+// TestServeQueryListener runs the fleet with a dedicated query-only
+// listener and a finite idle timeout: the wire demo must answer through the
+// second listener and still match the in-process engine.
+func TestServeQueryListener(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-meters", "2", "-shards", "4", "-seconds", "600", "-window", "60",
+		"-query-addr", "127.0.0.1:0", "-idle-timeout", "5s", "-query-conc", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"query listener on 127.0.0.1:",
+		"netquery: fleet mean",
+		"matches in-process",
+		"session errors: 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -1,0 +1,277 @@
+package benchref
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symmeter/internal/query"
+	"symmeter/internal/server"
+	"symmeter/internal/symbolic"
+	"symmeter/internal/transport"
+	"symmeter/pkg/client"
+)
+
+// --- Remote query benchmarks ----------------------------------------------
+//
+// These price the wire: the same aggregates the in-process engine answers,
+// asked through pkg/client over loopback TCP on one reused connection. The
+// quantities that matter are the wire-over-in-process latency ratio (pure
+// protocol + socket overhead, since both sides run the identical engine) and
+// hot-meter ingest tail latency while net-query readers run — the remote
+// continuation of the lock-free-reads story.
+
+// StartNetQuery serves st's query engine on an ephemeral loopback port and
+// returns the dial address plus a stop function. It reports plain errors
+// instead of taking a testing.TB so cmd/bench can drive it outside the
+// testing harness.
+func StartNetQuery(st *server.Store) (addr string, stop func(), err error) {
+	svc := server.New(server.Config{Store: st})
+	svc.SetQueryHandler(query.New(st))
+	a, err := svc.ListenQuery("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	return a.String(), func() { svc.Close() }, nil
+}
+
+// swapEngine is a server.QueryHandler that forwards to whichever engine was
+// last published: the ingest-latency bench recycles its store off-timer to
+// bound memory, and the serving side must follow the swap without restarting
+// the listener or its client connections.
+type swapEngine struct {
+	p atomic.Pointer[query.Engine]
+}
+
+func (h *swapEngine) ServeQuery(req transport.QueryRequest, res *transport.QueryResult) error {
+	return h.p.Load().ServeQuery(req, res)
+}
+
+// BenchNetFleetSum measures a fleet-wide sum through the full wire path —
+// request encode, TCP round trip, server-side dispatch and execute, response
+// decode — against the engine served at addr. perOp is the store's total
+// symbol count, so sym/s is comparable with query/fleet-sum.
+func BenchNetFleetSum(b *testing.B, addr string, perOp int) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, count, err := c.FleetSum(0, 1<<60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if count == 0 || sum == 0 {
+			b.Fatal("empty fleet sum")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchNetMeterWindow measures a single-meter window aggregate over the wire
+// — the smallest-payload query, so round-trip overhead dominates and the
+// number is an honest worst case for the protocol.
+func BenchNetMeterWindow(b *testing.B, addr string, meterID uint64, t0, t1 int64, perOp int) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := c.Aggregate(meterID, t0, t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Count == 0 {
+			b.Fatal("empty window aggregate")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchNetWindowLatency samples per-call latency of a single-meter window
+// aggregate over the wire and reports p50/p99 — the numerator of the
+// wire-over-in-process ratio the report prints.
+func BenchNetWindowLatency(b *testing.B, addr string, meterID uint64, t0, t1 int64, perOp int) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	lat := make([]int64, 0, min(maxLatencySamples, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		a, err := c.Aggregate(meterID, t0, t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Count == 0 {
+			b.Fatal("empty window aggregate")
+		}
+		d := int64(time.Since(start))
+		if len(lat) < maxLatencySamples {
+			lat = append(lat, d)
+		} else {
+			lat[i%maxLatencySamples] = d
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(percentile(lat, 0.50), "p50-ns")
+	b.ReportMetric(percentile(lat, 0.99), "p99-ns")
+	reportSymbols(b, perOp)
+}
+
+// BenchInprocWindowLatency is the in-process twin of BenchNetWindowLatency:
+// the same aggregate on the same store without the socket, the denominator
+// of the wire-overhead ratio.
+func BenchInprocWindowLatency(b *testing.B, e *query.Engine, meterID uint64, t0, t1 int64, perOp int) {
+	lat := make([]int64, 0, min(maxLatencySamples, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		a, ok := e.Aggregate(meterID, t0, t1)
+		if !ok || a.Count == 0 {
+			b.Fatal("empty window aggregate")
+		}
+		d := int64(time.Since(start))
+		if len(lat) < maxLatencySamples {
+			lat = append(lat, d)
+		} else {
+			lat[i%maxLatencySamples] = d
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(percentile(lat, 0.50), "p50-ns")
+	b.ReportMetric(percentile(lat, 0.99), "p99-ns")
+	reportSymbols(b, perOp)
+}
+
+// BenchIngestLatencyNet is BenchIngestLatency with the slow readers moved to
+// the other side of a socket: `readers` pkg/client connections run continuous
+// fleet aggregates over TCP against the live store while the hot meter's
+// Append latency is sampled. The acceptance story: net-query readers go
+// through the same lock-free engine as in-process ones, so the ingest p50
+// must sit where the in-memory solo p50 sits.
+func BenchIngestLatencyNet(b *testing.B, readers int) {
+	st := server.NewStore(16)
+	table, err := StoreTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]symbolic.SymbolPoint, 96)
+	if err := st.StartSession(1); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.PushTable(1, table); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Reserve(1, (1<<14)*len(pts)); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-load sealed history so the readers' fleet scans have real work.
+	var ts int64
+	for i := 0; i < 64; i++ {
+		for j := range pts {
+			pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j * 11 % 4000))}
+			ts += 900
+		}
+		if _, err := st.Append(1, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	handler := &swapEngine{}
+	handler.p.Store(query.New(st))
+	svc := server.New(server.Config{Store: st})
+	svc.SetQueryHandler(handler)
+	a, err := svc.ListenQuery("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		c, err := client.Dial(a.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			defer c.Close()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := c.FleetAggregate(0, 1<<60); err != nil {
+					return // benchmark teardown races are not failures
+				}
+			}
+		}(c)
+	}
+
+	cur := st
+	lat := make([]int64, 0, min(maxLatencySamples, 1<<16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<14) == 0 && i > 0 {
+			b.StopTimer()
+			ts = 0
+			cur = server.NewStore(16)
+			if err := cur.StartSession(1); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.PushTable(1, table); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.Reserve(1, (1<<14)*len(pts)); err != nil {
+				b.Fatal(err)
+			}
+			// Give the fresh store a sealed block so reader scans have work.
+			for j := range pts {
+				pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j))}
+				ts += 900
+			}
+			if _, err := cur.Append(1, pts); err != nil {
+				b.Fatal(err)
+			}
+			// Publish the fresh store to the serving side: the wire readers
+			// follow the swap mid-connection.
+			handler.p.Store(query.New(cur))
+			b.StartTimer()
+		}
+		for j := range pts {
+			pts[j] = symbolic.SymbolPoint{T: ts, S: table.Encode(float64(j * 11 % 4000))}
+			ts += 900
+		}
+		start := time.Now()
+		if _, err := cur.Append(1, pts); err != nil {
+			b.Fatal(err)
+		}
+		d := int64(time.Since(start))
+		if len(lat) < maxLatencySamples {
+			lat = append(lat, d)
+		} else {
+			lat[i%maxLatencySamples] = d
+		}
+	}
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+	b.ReportMetric(percentile(lat, 0.50), "p50-ns")
+	b.ReportMetric(percentile(lat, 0.99), "p99-ns")
+	reportSymbols(b, len(pts))
+}

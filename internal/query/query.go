@@ -281,27 +281,14 @@ func (e *Engine) Count(meterID uint64, t0, t1 int64) (uint64, bool) {
 	return n, true
 }
 
-// Sum returns the sum of reconstruction values for the meter in [t0, t1),
-// using block summaries and the per-byte sum LUT for edges.
-func (e *Engine) Sum(meterID uint64, t0, t1 int64) (float64, bool) {
+// sumCount is the shared single-pass fold under Sum, Mean and the wire
+// path's OpSum/OpMean: one summary-plus-LUT pass yielding both sum and
+// count, so every caller folds blocks in the same order and gets
+// bit-identical floats.
+func (e *Engine) sumCount(meterID uint64, t0, t1 int64) (float64, uint64, bool) {
 	m, ok := e.store.Meter(meterID)
 	if !ok {
-		return 0, false
-	}
-	var sum float64
-	m.VisitRange(t0, t1, func(v server.BlockView) {
-		s, _ := blockSum(v, t0, t1)
-		sum += s
-	})
-	return sum, true
-}
-
-// Mean returns the mean reconstruction value in [t0, t1); NaN when the
-// range is empty.
-func (e *Engine) Mean(meterID uint64, t0, t1 int64) (float64, bool) {
-	m, ok := e.store.Meter(meterID)
-	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	var sum float64
 	var n uint64
@@ -310,6 +297,23 @@ func (e *Engine) Mean(meterID uint64, t0, t1 int64) (float64, bool) {
 		sum += s
 		n += c
 	})
+	return sum, n, true
+}
+
+// Sum returns the sum of reconstruction values for the meter in [t0, t1),
+// using block summaries and the per-byte sum LUT for edges.
+func (e *Engine) Sum(meterID uint64, t0, t1 int64) (float64, bool) {
+	sum, _, ok := e.sumCount(meterID, t0, t1)
+	return sum, ok
+}
+
+// Mean returns the mean reconstruction value in [t0, t1); NaN when the
+// range is empty.
+func (e *Engine) Mean(meterID uint64, t0, t1 int64) (float64, bool) {
+	sum, n, ok := e.sumCount(meterID, t0, t1)
+	if !ok {
+		return 0, false
+	}
 	if n == 0 {
 		return math.NaN(), true
 	}

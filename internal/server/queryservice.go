@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"symmeter/internal/transport"
+)
+
+// runQuerySession drives one accepted query connection: a stream of 'Q'
+// frames, each answered with exactly one 'R' or 'X' frame carrying the
+// request's id. It returns nil for an orderly end — an 'E' frame or a clean
+// EOF between frames (query clients, unlike sensors, may simply close).
+//
+// Concurrency model: a fixed pool of s.queryConc workers pulls requests
+// from an unbuffered channel. The read loop's blocking send is the
+// backpressure — a client pipelining more than the bound stops being read
+// (and eventually stops being able to write, courtesy of TCP), so one
+// connection can never fan out unbounded work against the store. Each
+// worker owns a reusable result struct and encode buffer, so the
+// steady-state request→execute→respond path allocates nothing; responses
+// are serialized by a write mutex and may interleave across requests in
+// any order (the id is the correlator).
+func (s *Service) runQuerySession(conn net.Conn, br *bufio.Reader) error {
+	h := s.queryHandler
+	var (
+		writeMu  sync.Mutex
+		writeErr atomic.Value // first conn.Write error, type error
+	)
+	respond := func(frame []byte) {
+		writeMu.Lock()
+		_, err := conn.Write(frame)
+		writeMu.Unlock()
+		if err != nil {
+			// Keep only the first failure; later writes fail for the same
+			// reason and would race to overwrite it.
+			writeErr.CompareAndSwap(nil, err)
+		}
+	}
+
+	jobs := make(chan transport.QueryRequest)
+	var wg sync.WaitGroup
+	for i := 0; i < s.queryConc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res transport.QueryResult
+			var buf []byte
+			for req := range jobs {
+				var err error
+				if h == nil {
+					err = errors.New("server: no query handler configured")
+				} else {
+					err = h.ServeQuery(req, &res)
+				}
+				if err == nil {
+					buf, err = transport.AppendQueryResultFrame(buf[:0], &res)
+				}
+				if err != nil {
+					code, msg := transport.QueryErrorCode(err)
+					buf = transport.AppendQueryErrorFrame(buf[:0], req.ID, code, msg)
+				}
+				respond(buf)
+			}
+		}()
+	}
+	finish := func(err error) error {
+		close(jobs)
+		wg.Wait()
+		if werr, _ := writeErr.Load().(error); werr != nil && err == nil {
+			err = fmt.Errorf("server: query response write: %w", werr)
+		}
+		return err
+	}
+
+	fr := transport.NewFrameReader(br)
+	for {
+		if werr, _ := writeErr.Load().(error); werr != nil {
+			return finish(nil)
+		}
+		typ, payload, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return finish(nil)
+		}
+		if err != nil {
+			return finish(fmt.Errorf("server: query session: %w", err))
+		}
+		switch typ {
+		case transport.FrameQuery:
+			req, derr := transport.DecodeQueryRequest(payload)
+			if derr != nil {
+				// Malformed request: answer with a typed error addressed to
+				// whatever id could be extracted, then drop the session — the
+				// stream can no longer be trusted to be well-framed.
+				code := transport.QErrBadRequest
+				if errors.Is(derr, transport.ErrQueryVersionMismatch) {
+					code = transport.QErrVersion
+				}
+				respond(transport.AppendQueryErrorFrame(nil, req.ID, code, derr.Error()))
+				return finish(fmt.Errorf("server: query session: %w", derr))
+			}
+			jobs <- req
+		case transport.FrameEnd:
+			return finish(nil)
+		default:
+			return finish(fmt.Errorf("server: query session: %w: %#x", transport.ErrUnknownFrame, typ))
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"symmeter/internal/timeseries"
+	"symmeter/internal/transport"
+)
+
+// acceptResult is one scripted Accept outcome for stubListener.
+type acceptResult struct {
+	conn net.Conn
+	err  error
+}
+
+// stubListener feeds the accept loop a script of failures and connections —
+// the regression harness for the "any Accept error kills the loop" bug.
+type stubListener struct {
+	ch chan acceptResult
+}
+
+func (l *stubListener) Accept() (net.Conn, error) {
+	r, ok := <-l.ch
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return r.conn, r.err
+}
+
+func (l *stubListener) Close() error   { return nil }
+func (l *stubListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestAcceptLoopSurvivesTransientErrors proves the accept loop retries
+// transient failures (ECONNABORTED, EMFILE, ...) with backoff instead of
+// returning — a session arriving after a burst of errors is still served.
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	svc := New(Config{Shards: 2})
+	t.Cleanup(func() { svc.Close() })
+	ln := &stubListener{ch: make(chan acceptResult, 8)}
+	for i := 0; i < 3; i++ {
+		ln.ch <- acceptResult{err: errors.New("accept: connection aborted")}
+	}
+	serverEnd, clientEnd := net.Pipe()
+	ln.ch <- acceptResult{conn: serverEnd}
+
+	done := make(chan struct{})
+	go func() {
+		svc.serve(ln, false)
+		close(done)
+	}()
+
+	// The session after the error burst must run normally end to end.
+	if err := transport.WriteHandshake(clientEnd, 1); err != nil {
+		t.Fatal(err)
+	}
+	writeRawFrame(t, clientEnd, transport.FrameEnd, 0, nil)
+	if !svc.AwaitSessions(1, 5*time.Second) {
+		t.Fatal("session after transient accept errors never completed")
+	}
+	clientEnd.Close()
+
+	st := svc.Stats()
+	if st.AcceptRetries != 3 {
+		t.Fatalf("accept retries = %d, want 3", st.AcceptRetries)
+	}
+	if st.Sessions != 1 {
+		t.Fatalf("sessions = %d, want 1", st.Sessions)
+	}
+	if errs := svc.SessionErrors(); len(errs) != 0 {
+		t.Fatalf("session errors: %v", errs)
+	}
+
+	// Only a closed listener ends the loop.
+	close(ln.ch)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return on listener close")
+	}
+}
+
+// TestIdleSessionReapedAndMeterFreed proves the idle-timeout fix: a client
+// that goes silent is reaped (instead of parking its goroutine forever) and
+// its meter ID becomes connectable again.
+func TestIdleSessionReapedAndMeterFreed(t *testing.T) {
+	svc := New(Config{Shards: 2, IdleTimeout: 100 * time.Millisecond})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	const meter uint64 = 9
+	conn := rawConn(t, addr.String())
+	if err := transport.WriteHandshake(conn, meter); err != nil {
+		t.Fatal(err)
+	}
+	// Session registered, then the client goes silent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := svc.Store().Snapshot(meter); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitSessionErr(t, svc, os.ErrDeadlineExceeded)
+	expectClosed(t, conn)
+
+	// The reaped session released its registration: the meter reconnects and
+	// completes a clean second session.
+	c2 := rawConn(t, addr.String())
+	if err := transport.WriteHandshake(c2, meter); err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := transport.NewSensor(c2, testTable(t), 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 120; i++ {
+		if err := sensor.Push(timeseries.Point{T: i, V: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	if !svc.AwaitSessions(2, 10*time.Second) {
+		t.Fatal("reconnect session never completed")
+	}
+	for _, err := range svc.SessionErrors() {
+		if errors.Is(err, ErrDuplicateMeter) {
+			t.Fatalf("reconnect hit ErrDuplicateMeter: %v", err)
+		}
+	}
+	st, _ := svc.Store().Snapshot(meter)
+	if st.Sessions != 2 || len(st.Points) != 2 {
+		t.Fatalf("meter after reconnect: %d sessions, %d points", st.Sessions, len(st.Points))
+	}
+}
+
+// TestIdleTimeoutRefreshedPerFrame proves steady traffic keeps a session
+// alive well past the idle timeout — the deadline is per-read, not
+// per-connection.
+func TestIdleTimeoutRefreshedPerFrame(t *testing.T) {
+	svc := New(Config{Shards: 2, IdleTimeout: 150 * time.Millisecond})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+
+	conn := rawConn(t, addr.String())
+	if err := transport.WriteHandshake(conn, 4); err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := transport.NewSensor(conn, testTable(t), 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream one window every ~50ms for 3× the idle timeout.
+	start := time.Now()
+	var ts int64
+	for time.Since(start) < 450*time.Millisecond {
+		for i := int64(0); i < 60; i++ {
+			if err := sensor.Push(timeseries.Point{T: ts, V: 100}); err != nil {
+				t.Fatal(err)
+			}
+			ts++
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := sensor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if !svc.AwaitSessions(1, 10*time.Second) {
+		t.Fatal("session never completed")
+	}
+	if errs := svc.SessionErrors(); len(errs) != 0 {
+		t.Fatalf("live session reaped: %v", errs)
+	}
+}

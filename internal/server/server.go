@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"symmeter/internal/symbolic"
+	"symmeter/internal/transport"
 )
 
 // Config sizes a Service.
@@ -24,7 +28,24 @@ type Config struct {
 	// path: a durability layer rebuilds the store from disk and hands it to
 	// the service (Shards is then ignored).
 	Store *Store
+	// IdleTimeout, when positive, is the longest a connection may sit
+	// between bytes before the server reaps it. Without it, a silently dead
+	// client parks its session goroutine forever and — for ingest sessions —
+	// its StartSession registration blocks that meter ID for the life of the
+	// process. The deadline is refreshed on every read, so any frame
+	// progress keeps a session alive.
+	IdleTimeout time.Duration
+	// QueryConcurrency bounds how many requests a single query connection
+	// may have executing at once; 0 picks a default of 4. A pipelining
+	// client past the bound blocks in the server's read loop (TCP
+	// backpressure), so one greedy reader cannot fan out unbounded work
+	// against the store.
+	QueryConcurrency int
 }
+
+// defaultQueryConcurrency is the per-connection in-flight query bound when
+// the config leaves QueryConcurrency zero.
+const defaultQueryConcurrency = 4
 
 // Ingest is the write interface a session drives. A plain *Store implements
 // it (the in-memory default); a durability layer wraps the store so every
@@ -38,35 +59,59 @@ type Ingest interface {
 	Reserve(meterID uint64, n int) error
 }
 
+// QueryHandler executes one decoded query request, filling res for the
+// session layer to encode. query.Engine.ServeQuery implements it; the
+// indirection keeps this package free of an import cycle (internal/query
+// already imports internal/server for the store types).
+type QueryHandler interface {
+	ServeQuery(req transport.QueryRequest, res *transport.QueryResult) error
+}
+
 // Stats is a point-in-time view of service counters.
 type Stats struct {
-	// Sessions is the number of connections accepted so far.
+	// Sessions is the number of ingest sessions started so far.
 	Sessions int64
-	// Active is the number of sessions currently running.
+	// Active is the number of connections currently running an ingest
+	// session (or not yet classified as ingest vs query).
 	Active int64
 	// Symbols is the total number of symbols ingested into the store.
 	Symbols int64
 	// BytesIn is the total bytes read off all connections (the wire cost
-	// of tables, symbols and framing together).
+	// of tables, symbols, queries and framing together).
 	BytesIn int64
+	// QuerySessions is the number of query sessions started so far.
+	QuerySessions int64
+	// ActiveQueries is the number of query sessions currently running.
+	ActiveQueries int64
+	// AcceptRetries counts transient Accept failures survived by the
+	// accept loop's backoff-and-retry path.
+	AcceptRetries int64
 }
 
 // Service accepts sensor connections and runs one session goroutine per
-// meter, writing into a sharded Store.
+// meter, writing into a sharded Store. With a QueryHandler installed it
+// also answers query sessions: a connection whose first byte is a 'Q'
+// frame is dispatched to the query path instead of the ingest path.
 type Service struct {
 	store         *Store
 	ingest        Ingest
+	queryHandler  QueryHandler
 	reservePoints int
+	idleTimeout   time.Duration
+	queryConc     int
 
-	sessions atomic.Int64
-	active   atomic.Int64
-	symbols  atomic.Int64
-	bytesIn  atomic.Int64
+	sessions      atomic.Int64
+	active        atomic.Int64
+	symbols       atomic.Int64
+	bytesIn       atomic.Int64
+	querySessions atomic.Int64
+	activeQueries atomic.Int64
+	acceptRetries atomic.Int64
 
 	mu      sync.Mutex
 	errs    []error
 	closers map[net.Conn]struct{}
-	ln      net.Listener
+	lns     []net.Listener
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 }
@@ -82,10 +127,16 @@ func New(cfg Config) *Service {
 		}
 		st = NewStore(shards)
 	}
+	conc := cfg.QueryConcurrency
+	if conc <= 0 {
+		conc = defaultQueryConcurrency
+	}
 	return &Service{
 		store:         st,
 		ingest:        st,
 		reservePoints: cfg.ReservePoints,
+		idleTimeout:   cfg.IdleTimeout,
+		queryConc:     conc,
 		closers:       make(map[net.Conn]struct{}),
 	}
 }
@@ -94,16 +145,24 @@ func New(cfg Config) *Service {
 // how a durability layer interposes its WAL. Must be called before Listen.
 func (s *Service) SetIngest(ing Ingest) { s.ingest = ing }
 
+// SetQueryHandler installs the executor for query sessions (normally
+// query.New(svc.Store())). Must be called before Listen; without a handler,
+// query connections are refused with an error response.
+func (s *Service) SetQueryHandler(h QueryHandler) { s.queryHandler = h }
+
 // Store exposes the aggregation store for reporting and tests.
 func (s *Service) Store() *Store { return s.store }
 
 // Stats returns current counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Sessions: s.sessions.Load(),
-		Active:   s.active.Load(),
-		Symbols:  s.symbols.Load(),
-		BytesIn:  s.bytesIn.Load(),
+		Sessions:      s.sessions.Load(),
+		Active:        s.active.Load(),
+		Symbols:       s.symbols.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		QuerySessions: s.querySessions.Load(),
+		ActiveQueries: s.activeQueries.Load(),
+		AcceptRetries: s.acceptRetries.Load(),
 	}
 }
 
@@ -116,50 +175,129 @@ func (s *Service) SessionErrors() []error {
 	return append([]error(nil), s.errs...)
 }
 
+// recordErr appends one failed session's error.
+func (s *Service) recordErr(err error) {
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and serves in a
-// background goroutine until Close. It returns the bound address.
+// background goroutine until Close. It returns the bound address. The
+// listener accepts both ingest and query sessions, telling them apart by
+// the first frame byte.
 func (s *Service) Listen(addr string) (net.Addr, error) {
+	return s.listen(addr, false)
+}
+
+// ListenQuery starts a query-only listener on addr: ingest frames on its
+// connections are refused. Deployments that want query traffic on a
+// separate port (distinct firewall rules, separate load shedding) use this
+// alongside Listen; it is never required — the main listener dispatches
+// queries too.
+func (s *Service) ListenQuery(addr string) (net.Addr, error) {
+	return s.listen(addr, true)
+}
+
+func (s *Service) listen(addr string, queryOnly bool) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.serve(ln)
+		s.serve(ln, queryOnly)
 	}()
 	return ln.Addr(), nil
 }
 
-// serve accepts until the listener closes.
-func (s *Service) serve(ln net.Listener) {
+// Accept-retry backoff bounds: transient failures (ECONNABORTED on a
+// half-open peer, EMFILE under fd pressure) back off from 1ms doubling to
+// 1s, so the loop neither spins hot nor stays down longer than a second
+// past the condition clearing.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// serve accepts until the listener closes. Accept errors do not kill the
+// loop: anything other than "listener closed" is retried with capped
+// exponential backoff — an aborted connection or a transient fd exhaustion
+// must not permanently stop a process that is otherwise healthy.
+func (s *Service) serve(ln net.Listener, queryOnly bool) {
+	backoff := acceptBackoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.acceptRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
-		s.sessions.Add(1)
+		backoff = acceptBackoffMin
+		// Claim an active slot before the goroutine exists so AwaitSessions
+		// can never observe an accepted-but-uncounted connection.
 		s.active.Add(1)
 		s.track(conn, true)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer s.active.Add(-1)
-			defer s.track(conn, false)
-			defer conn.Close()
-			var bytesIn int64
-			symbols, err := s.runSession(conn, &bytesIn)
-			s.symbols.Add(symbols)
-			s.bytesIn.Add(bytesIn)
-			if err != nil {
-				s.mu.Lock()
-				s.errs = append(s.errs, err)
-				s.mu.Unlock()
-			}
+			s.handleConn(conn, queryOnly)
 		}()
+	}
+}
+
+// handleConn classifies one accepted connection by its first frame byte and
+// runs the matching session loop. The pre-claimed active slot either stays
+// (ingest) or transfers to the query counters once classified, so ingest
+// drain semantics (AwaitSessions, Drain) never count query readers.
+func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
+	defer s.track(conn, false)
+	defer conn.Close()
+	var r io.Reader = conn
+	if s.idleTimeout > 0 {
+		r = &idleReader{conn: conn, timeout: s.idleTimeout}
+	}
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	defer func() { s.bytesIn.Add(cr.n) }()
+
+	first, perr := br.Peek(1)
+	if perr == nil && first[0] == transport.FrameQuery {
+		s.querySessions.Add(1)
+		s.activeQueries.Add(1)
+		s.active.Add(-1)
+		defer s.activeQueries.Add(-1)
+		if err := s.runQuerySession(conn, br); err != nil {
+			s.recordErr(err)
+		}
+		return
+	}
+	defer s.active.Add(-1)
+	if queryOnly {
+		// An ingest (or garbage) stream on the query port: refuse without
+		// registering a meter session. Peek errors land here too — there is
+		// nothing to answer a peer that never sent a byte.
+		s.recordErr(fmt.Errorf("server: non-query stream on query-only listener: %w", transport.ErrUnknownFrame))
+		return
+	}
+	// Ingest path. A Peek error falls through on purpose: runSession's
+	// handshake read reproduces it as the usual ErrBadHandshake-wrapped
+	// session error.
+	s.sessions.Add(1)
+	symbols, err := s.runSession(br)
+	s.symbols.Add(symbols)
+	if err != nil {
+		s.recordErr(err)
 	}
 }
 
@@ -180,14 +318,15 @@ func (s *Service) track(conn net.Conn, add bool) {
 	}
 }
 
-// AwaitSessions blocks until the service has accepted at least n sessions
-// and none is still running, or until timeout elapses (it reports which).
-// Fleet drivers call it between "all sensors have closed their connections"
-// and Drain: a freshly-closed connection can still be sitting un-accepted
-// in the listener's backlog, and closing the listener at that moment would
-// silently drop it along with its data. n must count only peers that
-// actually connected — a driver whose sensor died before dialing must not
-// wait for a session that will never arrive.
+// AwaitSessions blocks until the service has accepted at least n ingest
+// sessions and none is still running, or until timeout elapses (it reports
+// which). Fleet drivers call it between "all sensors have closed their
+// connections" and Drain: a freshly-closed connection can still be sitting
+// un-accepted in the listener's backlog, and closing the listener at that
+// moment would silently drop it along with its data. n must count only
+// peers that actually connected — a driver whose sensor died before dialing
+// must not wait for a session that will never arrive. Query sessions are
+// counted separately and never hold this up.
 func (s *Service) AwaitSessions(n int64, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -208,29 +347,29 @@ func (s *Service) AwaitSessions(n int64, timeout time.Duration) bool {
 // peers only just closed).
 func (s *Service) Drain() {
 	s.mu.Lock()
-	ln := s.ln
-	s.ln = nil
+	lns := s.lns
+	s.lns = nil
 	s.mu.Unlock()
-	if ln != nil {
+	for _, ln := range lns {
 		ln.Close()
 	}
 	s.wg.Wait()
 }
 
-// Close force-stops the service: the listener and every live connection
-// are closed, then all session goroutines are awaited.
+// Close force-stops the service: every listener and live connection is
+// closed, then all session goroutines are awaited.
 func (s *Service) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return errors.New("server: already closed")
 	}
 	s.mu.Lock()
-	ln := s.ln
-	s.ln = nil
+	lns := s.lns
+	s.lns = nil
 	for conn := range s.closers {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	if ln != nil {
+	for _, ln := range lns {
 		ln.Close()
 	}
 	s.wg.Wait()

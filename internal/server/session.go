@@ -1,10 +1,11 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"symmeter/internal/transport"
 )
@@ -22,21 +23,36 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// runSession drives one accepted connection end to end: handshake, meter
-// registration, then the decode loop. It returns the number of symbols
-// ingested and a nil error only for an orderly 'E'-terminated stream.
+// idleReader arms the connection's read deadline before every Read, so the
+// idle clock restarts on each byte of progress. A peer that stalls longer
+// than the timeout surfaces os.ErrDeadlineExceeded (inside a *net.OpError)
+// to whichever decode loop is reading, which tears the session down and —
+// for ingest — frees the meter ID for a reconnect.
+type idleReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (ir *idleReader) Read(p []byte) (int, error) {
+	if err := ir.conn.SetReadDeadline(time.Now().Add(ir.timeout)); err != nil {
+		return 0, err
+	}
+	return ir.conn.Read(p)
+}
+
+// runSession drives one accepted ingest connection end to end: handshake,
+// meter registration, then the decode loop. The caller (handleConn) owns
+// buffering, byte counting and any idle deadline; r is the ready-to-read
+// stream. It returns the number of symbols ingested and a nil error only
+// for an orderly 'E'-terminated stream.
 //
 // Failure isolation is the point of the structure: every store write is a
 // single shard-locked call, so an error at any point — torn frame, abrupt
 // disconnect, bad table — tears down only this session. State committed by
 // earlier batches stays readable and the shard lock is never held across a
 // network read, so a dying session cannot poison its shard.
-func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err error) {
-	cr := &countingReader{r: conn}
-	defer func() { *bytesIn = cr.n }()
-	br := bufio.NewReader(cr)
-
-	hs, err := transport.ReadHandshake(br)
+func (s *Service) runSession(r io.Reader) (symbols int64, err error) {
+	hs, err := transport.ReadHandshake(r)
 	if err != nil {
 		return 0, err
 	}
@@ -50,7 +66,7 @@ func (s *Service) runSession(conn io.Reader, bytesIn *int64) (symbols int64, err
 		}
 	}
 
-	dec := transport.NewDecoder(br)
+	dec := transport.NewDecoder(r)
 	for {
 		ev, err := dec.Next()
 		if errors.Is(err, io.EOF) {

@@ -189,53 +189,27 @@ func (ev Event) ClonePoints() []symbolic.SymbolPoint {
 // lands in a shared store batch-by-batch instead of accumulating per
 // connection.
 //
-// The Decoder owns three scratch buffers — the frame payload, the unpacked
-// symbols and the emitted points — that are reused across Next calls, so a
-// steady-state session decodes symbol batches without allocating.
+// The Decoder owns three scratch buffers — the FrameReader's payload, the
+// unpacked symbols and the emitted points — that are reused across Next
+// calls, so a steady-state session decodes symbol batches without
+// allocating.
 type Decoder struct {
-	r      io.Reader
+	fr     FrameReader
 	tables int
 
-	// hdr is a field rather than a readFrameReuse local so the slice passed
-	// to the reader's Read does not force a heap allocation per frame.
-	hdr     [5]byte
-	payload []byte
-	syms    []symbolic.Symbol
-	pts     []symbolic.SymbolPoint
+	syms []symbolic.Symbol
+	pts  []symbolic.SymbolPoint
 }
 
 // NewDecoder wraps a reader positioned after any handshake.
-func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
-
-// readFrameReuse is readFrame reading the payload into the decoder's
-// reusable buffer instead of a fresh allocation per frame.
-func (d *Decoder) readFrameReuse() (typ byte, payload []byte, err error) {
-	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
-		return 0, nil, err // io.EOF for clean end, ErrUnexpectedEOF for torn header
-	}
-	n := binary.BigEndian.Uint32(d.hdr[1:])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("%w: frame of %d bytes (limit %d)", ErrFrameTooLarge, n, maxFrame)
-	}
-	if cap(d.payload) < int(n) {
-		d.payload = make([]byte, n)
-	}
-	payload = d.payload[:n]
-	if _, err := io.ReadFull(d.r, payload); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
-		return 0, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
-	}
-	return d.hdr[0], payload, nil
-}
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{fr: FrameReader{r: r}} }
 
 // Next decodes one frame. It returns io.EOF only on a clean stream end
 // between frames; an FrameEnd event signals orderly protocol shutdown.
 //
 // The returned event's Points slice is reused by the next call; see Event.
 func (d *Decoder) Next() (Event, error) {
-	typ, payload, err := d.readFrameReuse()
+	typ, payload, err := d.fr.Next()
 	if err != nil {
 		return Event{}, err
 	}

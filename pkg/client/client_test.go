@@ -1,0 +1,290 @@
+package client_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"symmeter/internal/benchref"
+	"symmeter/internal/query"
+	"symmeter/internal/server"
+	"symmeter/pkg/client"
+)
+
+// The test fixture: one shared store + service + engine for every test and
+// the fuzz target. 8 meters × 700 windows of the k=16 bench fixture shape.
+const (
+	fixtureMeters = 8
+	fixturePoints = 700
+	fixtureWindow = 900
+	fixtureEnd    = fixturePoints * fixtureWindow
+)
+
+var fixture struct {
+	once sync.Once
+	eng  *query.Engine
+	addr string
+	err  error
+}
+
+// startFixture builds the shared store and serves it on an ephemeral port.
+// The service lives for the whole test process: individual tests share the
+// listener and open their own client connections.
+func startFixture(t testing.TB) (string, *query.Engine) {
+	t.Helper()
+	fixture.once.Do(func() {
+		st, err := benchref.MakeQueryStore(fixtureMeters, fixturePoints)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		svc := server.New(server.Config{Store: st})
+		svc.SetQueryHandler(query.New(st))
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.eng = query.New(st)
+		fixture.addr = addr.String()
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.addr, fixture.eng
+}
+
+func dialFixture(t testing.TB) (*client.Client, *query.Engine) {
+	t.Helper()
+	addr, eng := startFixture(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, eng
+}
+
+// bitsEqual compares floats as IEEE-754 bit patterns — the protocol's
+// promise for per-meter results.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// approxEqual tolerates the reassociation of fleet partial merges, whose
+// worker order is scheduling-dependent on both sides of the wire.
+func approxEqual(a, b float64) bool {
+	if bitsEqual(a, b) {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestClientMatchesEngineMeterOps checks every per-meter op against the
+// in-process engine, bit-exact, across full, partial and empty windows.
+func TestClientMatchesEngineMeterOps(t *testing.T) {
+	c, eng := dialFixture(t)
+	windows := [][2]int64{
+		{0, fixtureEnd}, // full coverage
+		{100 * fixtureWindow, 600*fixtureWindow + 450}, // cuts inside blocks
+		{3 * fixtureWindow, 4 * fixtureWindow},         // single window
+		{fixtureEnd + 1000, fixtureEnd + 2000},         // valid but empty
+	}
+	for _, w := range windows {
+		t0, t1 := w[0], w[1]
+		for id := uint64(1); id <= fixtureMeters; id++ {
+			wantN, _ := eng.Count(id, t0, t1)
+			gotN, err := c.Count(id, t0, t1)
+			if err != nil || gotN != wantN {
+				t.Fatalf("Count(%d, %d, %d) = %d, %v; want %d", id, t0, t1, gotN, err, wantN)
+			}
+
+			wantSum, _ := eng.Sum(id, t0, t1)
+			gotSum, gotSumN, err := c.Sum(id, t0, t1)
+			if err != nil || !bitsEqual(gotSum, wantSum) || gotSumN != wantN {
+				t.Fatalf("Sum(%d, %d, %d) = %v/%d, %v; want %v/%d", id, t0, t1, gotSum, gotSumN, err, wantSum, wantN)
+			}
+
+			wantMean, _ := eng.Mean(id, t0, t1)
+			gotMean, err := c.Mean(id, t0, t1)
+			if err != nil || !bitsEqual(gotMean, wantMean) {
+				t.Fatalf("Mean(%d, %d, %d) = %v, %v; want %v", id, t0, t1, gotMean, err, wantMean)
+			}
+
+			wantMin, wantMinOK := eng.Min(id, t0, t1)
+			gotMin, gotMinOK, err := c.Min(id, t0, t1)
+			if err != nil || gotMinOK != wantMinOK || (wantMinOK && !bitsEqual(gotMin, wantMin)) {
+				t.Fatalf("Min(%d, %d, %d) = %v/%v, %v; want %v/%v", id, t0, t1, gotMin, gotMinOK, err, wantMin, wantMinOK)
+			}
+			wantMax, wantMaxOK := eng.Max(id, t0, t1)
+			gotMax, gotMaxOK, err := c.Max(id, t0, t1)
+			if err != nil || gotMaxOK != wantMaxOK || (wantMaxOK && !bitsEqual(gotMax, wantMax)) {
+				t.Fatalf("Max(%d, %d, %d) = %v/%v, %v; want %v/%v", id, t0, t1, gotMax, gotMaxOK, err, wantMax, wantMaxOK)
+			}
+
+			wantAgg, _ := eng.Aggregate(id, t0, t1)
+			gotAgg, err := c.Aggregate(id, t0, t1)
+			if err != nil || gotAgg.Count != wantAgg.Count || !bitsEqual(gotAgg.Sum, wantAgg.Sum) ||
+				!bitsEqual(gotAgg.Min, wantAgg.Min) || !bitsEqual(gotAgg.Max, wantAgg.Max) {
+				t.Fatalf("Aggregate(%d, %d, %d) = %+v, %v; want %+v", id, t0, t1, gotAgg, err, wantAgg)
+			}
+
+			wantH, _, herr := eng.Histogram(id, t0, t1)
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			gotH, err := c.Histogram(id, t0, t1)
+			if err != nil || gotH.Level != wantH.Level || len(gotH.Counts) != len(wantH.Counts) {
+				t.Fatalf("Histogram(%d, %d, %d) = %+v, %v; want %+v", id, t0, t1, gotH, err, wantH)
+			}
+			for s := range gotH.Counts {
+				if gotH.Counts[s] != wantH.Counts[s] {
+					t.Fatalf("Histogram(%d) bin %d = %d, want %d", id, s, gotH.Counts[s], wantH.Counts[s])
+				}
+			}
+		}
+	}
+}
+
+// TestClientMatchesEngineFleetOps checks fleet-wide ops: integer aggregates
+// (counts, histogram bins) bit-identical, float merges within reassociation
+// tolerance.
+func TestClientMatchesEngineFleetOps(t *testing.T) {
+	c, eng := dialFixture(t)
+	windows := [][2]int64{
+		{0, fixtureEnd},
+		{100 * fixtureWindow, 600*fixtureWindow + 450},
+		{fixtureEnd + 1000, fixtureEnd + 2000},
+	}
+	for _, w := range windows {
+		t0, t1 := w[0], w[1]
+
+		wantSum, wantN := eng.FleetSum(t0, t1)
+		gotN, err := c.FleetCount(t0, t1)
+		if err != nil || gotN != wantN {
+			t.Fatalf("FleetCount(%d, %d) = %d, %v; want %d", t0, t1, gotN, err, wantN)
+		}
+		gotSum, gotSumN, err := c.FleetSum(t0, t1)
+		if err != nil || gotSumN != wantN || !approxEqual(gotSum, wantSum) {
+			t.Fatalf("FleetSum(%d, %d) = %v/%d, %v; want %v/%d", t0, t1, gotSum, gotSumN, err, wantSum, wantN)
+		}
+
+		wantAgg := eng.FleetAggregate(t0, t1)
+		gotAgg, err := c.FleetAggregate(t0, t1)
+		if err != nil || gotAgg.Count != wantAgg.Count ||
+			!approxEqual(gotAgg.Sum, wantAgg.Sum) ||
+			!bitsEqual(gotAgg.Min, wantAgg.Min) || !bitsEqual(gotAgg.Max, wantAgg.Max) {
+			t.Fatalf("FleetAggregate(%d, %d) = %+v, %v; want %+v", t0, t1, gotAgg, err, wantAgg)
+		}
+
+		wantH, herr := eng.FleetHistogram(t0, t1)
+		if herr != nil {
+			t.Fatal(herr)
+		}
+		gotH, err := c.FleetHistogram(t0, t1)
+		if err != nil || gotH.Level != wantH.Level || len(gotH.Counts) != len(wantH.Counts) {
+			t.Fatalf("FleetHistogram(%d, %d) = %+v, %v; want %+v", t0, t1, gotH, err, wantH)
+		}
+		for s := range gotH.Counts {
+			if gotH.Counts[s] != wantH.Counts[s] {
+				t.Fatalf("FleetHistogram bin %d = %d, want %d", s, gotH.Counts[s], wantH.Counts[s])
+			}
+		}
+	}
+}
+
+// TestClientTypedErrors checks the server's verdict errors surface through
+// errors.Is and do NOT poison the connection.
+func TestClientTypedErrors(t *testing.T) {
+	c, _ := dialFixture(t)
+
+	if _, err := c.Count(9999, 0, fixtureEnd); !errors.Is(err, client.ErrUnknownMeter) {
+		t.Fatalf("unknown meter: %v", err)
+	}
+	if _, _, err := c.Sum(1, 500, 500); !errors.Is(err, client.ErrBadRange) {
+		t.Fatalf("empty range: %v", err)
+	}
+	if _, _, err := c.FleetSum(10, 5); !errors.Is(err, client.ErrBadRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := c.Histogram(8888, 0, fixtureEnd); !errors.Is(err, client.ErrUnknownMeter) {
+		t.Fatalf("unknown meter histogram: %v", err)
+	}
+
+	// The stream stayed framed across all four verdicts: a normal query
+	// still answers.
+	n, err := c.Count(1, 0, fixtureEnd)
+	if err != nil || n != fixturePoints {
+		t.Fatalf("query after verdict errors: %d, %v; want %d", n, err, fixturePoints)
+	}
+}
+
+// TestClientAggMean checks the client-side Agg helper matches the wire Mean.
+func TestClientAggMean(t *testing.T) {
+	c, _ := dialFixture(t)
+	agg, err := c.Aggregate(2, 0, fixtureEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := c.Mean(2, 0, fixtureEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(agg.Mean(), mean) {
+		t.Fatalf("Agg.Mean %v != wire Mean %v", agg.Mean(), mean)
+	}
+	var empty client.Agg
+	if !math.IsNaN(empty.Mean()) {
+		t.Fatal("empty Agg.Mean not NaN")
+	}
+}
+
+// TestClientSteadyStateZeroAlloc pins the whole round trip — request
+// encode, server-side execute + response encode, client-side decode — at
+// zero allocations per query in steady state. Runs over real TCP with the
+// server in-process, so a single allocation on either side of the meter-op
+// path fails the test.
+func TestClientSteadyStateZeroAlloc(t *testing.T) {
+	c, _ := dialFixture(t)
+	t0, t1 := int64(100*fixtureWindow), int64(600*fixtureWindow+450)
+	var h client.Histogram
+	// Warm every reusable buffer: client request buf, server worker
+	// result/encode buf, client decode bins, caller bins.
+	if _, err := c.Aggregate(1, t0, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HistogramInto(&h, 1, t0, t1); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := c.Aggregate(1, t0, t1); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Sum(1, t0, t1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.HistogramInto(&h, 1, t0, t1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("steady-state query round trip allocates %v per run, want 0", n)
+	}
+}
+
+// TestClientClosePoisons checks a closed client fails fast instead of
+// writing to a dead connection.
+func TestClientClosePoisons(t *testing.T) {
+	addr, _ := startFixture(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Count(1, 0, 10); err == nil {
+		t.Fatal("query on closed client succeeded")
+	}
+}
