@@ -6,7 +6,7 @@
 // results as JSON, so every PR's perf trajectory is recorded as an artifact
 // instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_6.json
+//	bench                         # writes BENCH_7.json
 //	bench -out /tmp/b.json -benchtime 100ms
 //	bench -cpuprofile cpu.out     # profile the query path
 //
@@ -117,7 +117,7 @@ type NetQueryStats struct {
 	IngestP99NetReadersNs float64 `json:"ingest_p99_net_readers_ns"`
 }
 
-// Report is the BENCH_6.json document.
+// Report is the BENCH_7.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
@@ -142,7 +142,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath    = fs.String("out", "BENCH_6.json", "output JSON path")
+		outPath    = fs.String("out", "BENCH_7.json", "output JSON path")
 		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -166,7 +166,7 @@ func run(args []string, out io.Writer) error {
 	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/6",
+		Schema:   "symmeter-bench/7",
 		Go:       runtime.Version(),
 		GOOS:     runtime.GOOS,
 		GOARCH:   runtime.GOARCH,

@@ -9,7 +9,7 @@ import (
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_6.json structure.
+// validates the BENCH_7.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,7 +24,7 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/6" {
+	if rep.Schema != "symmeter-bench/7" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Results) != 19 {

@@ -1,12 +1,12 @@
 // Command benchdiff is the CI bench-regression gate: it compares the
 // symbols/sec throughput of matching benchmarks between a committed baseline
-// report (BENCH_5.json) and a freshly-measured one (BENCH_6.json) and fails
+// report (BENCH_6.json) and a freshly-measured one (BENCH_7.json) and fails
 // when any compared benchmark regressed by more than the allowed fraction.
 // Every problem — all regressed benchmarks and all benchmarks missing from
 // the current report — is gathered and reported in one run, so a failing CI
 // log shows the full regression set rather than the first casualty.
 //
-//	benchdiff -baseline BENCH_5.json -current BENCH_6.json -max-regress 0.20
+//	benchdiff -baseline BENCH_6.json -current BENCH_7.json -max-regress 0.20
 //
 // The codec benchmarks (pack/*, unpack/*), the compressed-domain query
 // benchmarks (query/*) and the remote-query benchmarks (netquery/*) are
@@ -75,8 +75,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_5.json", "committed baseline report")
-		currentPath  = fs.String("current", "BENCH_6.json", "freshly-measured report")
+		baselinePath = fs.String("baseline", "BENCH_6.json", "committed baseline report")
+		currentPath  = fs.String("current", "BENCH_7.json", "freshly-measured report")
 		maxRegress   = fs.Float64("max-regress", 0.20, "maximum allowed throughput regression fraction")
 		prefixes     = fs.String("prefixes", "pack/,unpack/,query/,netquery/", "comma-separated benchmark name prefixes to compare")
 		exclude      = fs.String("exclude", "pack/word,unpack/word,query/meter-window", "comma-separated exact benchmark names to skip (allocator-noise-dominated or ruler-less)")

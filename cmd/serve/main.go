@@ -290,6 +290,7 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",
 		st.BytesIn, symbolic.RawSize(rep.Sent))
 	if eng != nil {
+		printHealth(out, eng, st.DegradedSessions)
 		// All queries above are done; flushing finishes the open segments
 		// and makes the next start recover from footers instead of replay.
 		if err := eng.Close(); err != nil {
@@ -308,6 +309,24 @@ func run(args []string, out io.Writer) (err error) {
 	return nil
 }
 
+// printHealth reports the engine's health state and fault counters — the
+// operator's view of degraded-mode behavior: "healthy" with all-zero
+// counters on a good disk, otherwise the state, its cause, and how many
+// sessions were refused with VerdictDegraded.
+func printHealth(out io.Writer, eng *storage.Engine, degradedSessions int64) {
+	h := eng.Health()
+	line := fmt.Sprintf("storage health: %s", h.State)
+	if h.Reason != "" {
+		line += fmt.Sprintf(" (%s)", h.Reason)
+	}
+	if h.SpillDisabled {
+		line += " [spill disabled: sealed blocks heap-resident]"
+	}
+	fmt.Fprintf(out, "%s — wal-gen %d, faults: %d wal writes, %d fsyncs, %d spill fallbacks, %d manifest retries, %d manifest failures; %d probes, %d heals, %d degraded sessions\n",
+		line, h.WALGen, h.WALWriteFailures, h.FsyncFailures, h.SpillFallbacks,
+		h.ManifestRetries, h.ManifestFailures, h.Probes, h.Heals, degradedSessions)
+}
+
 // shutdown is the signal path: give in-flight sessions a moment to finish
 // reading what their peers already sent, then cut connections and flush the
 // storage engine. A flush failure is the one thing that must exit non-zero —
@@ -319,6 +338,7 @@ func shutdown(svc *server.Service, eng *storage.Engine, out io.Writer) error {
 	}
 	svc.Close()
 	if eng != nil {
+		printHealth(out, eng, svc.Stats().DegradedSessions)
 		if err := eng.Close(); err != nil {
 			return fmt.Errorf("storage flush on shutdown: %w", err)
 		}

@@ -86,6 +86,10 @@ type Stats struct {
 	// AcceptRetries counts transient Accept failures survived by the
 	// accept loop's backoff-and-retry path.
 	AcceptRetries int64
+	// DegradedSessions counts ingest sessions refused (or torn down)
+	// because the durability layer was degraded; each one was answered
+	// with a VerdictDegraded frame before the connection closed.
+	DegradedSessions int64
 }
 
 // Service accepts sensor connections and runs one session goroutine per
@@ -100,13 +104,14 @@ type Service struct {
 	idleTimeout   time.Duration
 	queryConc     int
 
-	sessions      atomic.Int64
-	active        atomic.Int64
-	symbols       atomic.Int64
-	bytesIn       atomic.Int64
-	querySessions atomic.Int64
-	activeQueries atomic.Int64
-	acceptRetries atomic.Int64
+	sessions         atomic.Int64
+	active           atomic.Int64
+	symbols          atomic.Int64
+	bytesIn          atomic.Int64
+	querySessions    atomic.Int64
+	activeQueries    atomic.Int64
+	acceptRetries    atomic.Int64
+	degradedSessions atomic.Int64
 
 	mu      sync.Mutex
 	errs    []error
@@ -156,13 +161,14 @@ func (s *Service) Store() *Store { return s.store }
 // Stats returns current counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Sessions:      s.sessions.Load(),
-		Active:        s.active.Load(),
-		Symbols:       s.symbols.Load(),
-		BytesIn:       s.bytesIn.Load(),
-		QuerySessions: s.querySessions.Load(),
-		ActiveQueries: s.activeQueries.Load(),
-		AcceptRetries: s.acceptRetries.Load(),
+		Sessions:         s.sessions.Load(),
+		Active:           s.active.Load(),
+		Symbols:          s.symbols.Load(),
+		BytesIn:          s.bytesIn.Load(),
+		QuerySessions:    s.querySessions.Load(),
+		ActiveQueries:    s.activeQueries.Load(),
+		AcceptRetries:    s.acceptRetries.Load(),
+		DegradedSessions: s.degradedSessions.Load(),
 	}
 }
 
@@ -297,6 +303,16 @@ func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
 	symbols, err := s.runSession(br)
 	s.symbols.Add(symbols)
 	if err != nil {
+		if errors.Is(err, ErrDegraded) {
+			// The one 'X' frame the ingest protocol speaks: tell the sensor
+			// its write was refused because storage is degraded (retryable,
+			// nothing was written) before the connection closes. Best
+			// effort — a peer that already hung up just misses the hint.
+			s.degradedSessions.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			frame := transport.AppendQueryErrorFrame(nil, 0, transport.VerdictDegraded, err.Error())
+			_, _ = conn.Write(frame)
+		}
 		s.recordErr(err)
 	}
 }

@@ -35,6 +35,11 @@ var (
 	// ErrNoTable reports symbol data arriving for a meter before any
 	// lookup table.
 	ErrNoTable = errors.New("server: meter has no lookup table")
+	// ErrDegraded reports an ingest refused because the durability layer is
+	// degraded (storage wraps this sentinel with the failure's cause):
+	// queries keep serving, but the server will not acknowledge writes it
+	// cannot make durable. Travels the wire as transport.VerdictDegraded.
+	ErrDegraded = errors.New("server: storage degraded: ingest refused")
 )
 
 // ReconPoint is one reconstructed measurement: the symbol the meter sent

@@ -25,6 +25,11 @@
 // finished segment. Anything torn at the very end of a WAL was never
 // acknowledged and is truncated; damage anywhere else fails recovery loudly
 // (ErrWALCorrupt) rather than silently dropping acknowledged data.
+//
+// Every filesystem operation goes through the FS seam (fs.go), and every
+// durability failure is classified by the health state machine (health.go):
+// the engine degrades to queries-only instead of crashing or lying, and
+// heals onto a fresh WAL generation when the directory recovers.
 package storage
 
 import (
@@ -34,6 +39,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +52,7 @@ import (
 // Options configures Open.
 type Options struct {
 	// Dir is the data directory (created if missing). Its layout:
-	// MANIFEST.json, wal/shard-NNNN.wal, seg/NNNN-SSSSSS.seg.
+	// MANIFEST.json, wal/shard-NNNN[-GGGGGG].wal, seg/NNNN-SSSSSS.seg.
 	Dir string
 	// Shards is the store's shard count for a fresh directory; an existing
 	// directory's manifest takes precedence (the WAL files are per-shard).
@@ -58,6 +65,12 @@ type Options struct {
 	// SegmentBytes caps one segment file's preallocated size (default 4MiB,
 	// min 64KiB).
 	SegmentBytes int
+	// FS is the filesystem the engine writes through; nil means the real
+	// one (OsFS). Tests inject internal/faultfs here.
+	FS FS
+	// ProbeInterval is the cadence of the background health probe that
+	// re-tests a degraded data directory (default 500ms).
+	ProbeInterval time.Duration
 }
 
 // RecoveryStats reports what Open rebuilt.
@@ -96,9 +109,18 @@ type meterMeta struct {
 // seal path and are not otherwise synchronized.
 type Engine struct {
 	opts  Options
+	fs    FS
 	store *server.Store
-	wals  []*wal
 	segs  []*segmentWriter
+
+	// wals holds each shard's current log behind an atomic pointer so a
+	// heal can rotate in a fresh generation while appends are in flight; a
+	// retired log stays open (its records are the replay source and
+	// stragglers may still touch it) until Close.
+	wals      []atomic.Pointer[wal]
+	walGen    atomic.Uint64
+	retiredMu sync.Mutex
+	retired   []*wal
 
 	meters sync.Map // meterID → *meterMeta
 
@@ -107,6 +129,8 @@ type Engine struct {
 
 	mapsMu sync.Mutex
 	maps   [][]byte
+
+	health healthState
 
 	stop   chan struct{}
 	syncWG sync.WaitGroup
@@ -134,18 +158,27 @@ func Open(opts Options) (*Engine, error) {
 	if opts.GroupInterval <= 0 {
 		opts.GroupInterval = 2 * time.Millisecond
 	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 500 * time.Millisecond
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OsFS{}
+	}
 	for _, d := range []string{opts.Dir, filepath.Join(opts.Dir, "wal"), filepath.Join(opts.Dir, "seg")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	man, haveMan, err := loadManifest(opts.Dir)
+	man, haveMan, migrated, err := loadManifest(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	if !haveMan {
 		man = manifest{Format: manifestFormat, Shards: opts.Shards}
-		if err := writeManifest(opts.Dir, man); err != nil {
+	}
+	if !haveMan || migrated {
+		if err := writeManifest(fsys, opts.Dir, man); err != nil {
 			return nil, err
 		}
 	}
@@ -154,15 +187,21 @@ func Open(opts Options) (*Engine, error) {
 
 	e := &Engine{
 		opts:  opts,
+		fs:    fsys,
 		store: server.NewStore(man.Shards),
 		man:   man,
 	}
+	e.walGen.Store(man.WALGen)
 	if err := e.recover(); err != nil {
-		e.releaseMaps()
+		e.unwind()
 		return nil, err
 	}
+	e.stop = make(chan struct{})
+	// The probe runs for the engine's lifetime (idle while Healthy) so a
+	// degrade never has to race a goroutine start against Close.
+	e.syncWG.Add(1)
+	go e.probeLoop(opts.ProbeInterval)
 	if opts.Sync == SyncGroup {
-		e.stop = make(chan struct{})
 		e.syncWG.Add(1)
 		go e.groupSync()
 	}
@@ -180,17 +219,45 @@ func (e *Engine) Sync() SyncMode { return e.opts.Sync }
 
 func (e *Engine) segDir() string { return filepath.Join(e.opts.Dir, "seg") }
 
-func (e *Engine) walPath(shard int) string {
-	return filepath.Join(e.opts.Dir, "wal", fmt.Sprintf("shard-%04d.wal", shard))
+// walGenPath names shard's log at the given generation. Generation 0 is the
+// original pre-rotation layout (format 1 directories have only it).
+func (e *Engine) walGenPath(shard int, gen uint64) string {
+	if gen == 0 {
+		return filepath.Join(e.opts.Dir, "wal", fmt.Sprintf("shard-%04d.wal", shard))
+	}
+	return filepath.Join(e.opts.Dir, "wal", fmt.Sprintf("shard-%04d-%06d.wal", shard, gen))
+}
+
+// walGenOf parses a log file name's generation; ok is false for names that
+// are not shard logs.
+func walGenOf(name string) (gen uint64, ok bool) {
+	if !strings.HasPrefix(name, "shard-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "shard-"), ".wal")
+	switch parts := strings.Split(mid, "-"); len(parts) {
+	case 1:
+		return 0, true
+	case 2:
+		g, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return g, true
+	}
+	return 0, false
 }
 
 // recover rebuilds the store: orphan cleanup, segment restore, WAL replay,
-// torn-tail truncation, seal-sink installation.
+// torn-tail truncation, seal-sink installation. On error the caller (Open)
+// unwinds every file and mapping opened so far.
 func (e *Engine) recover() error {
 	shards := e.opts.Shards
 
 	// 1. Drop segment files the manifest does not list — the open segment of
-	// a crashed run has no footer and its blocks replay from the WAL.
+	// a crashed run has no footer and its blocks replay from the WAL — and
+	// WAL generations above the manifest's: a heal that crashed before its
+	// manifest barrier never acknowledged anything into them.
 	listed := make(map[string]bool, len(e.man.Segments))
 	nextSeq := make([]uint64, shards)
 	for _, ms := range e.man.Segments {
@@ -199,13 +266,24 @@ func (e *Engine) recover() error {
 			nextSeq[ms.Shard] = ms.Seq + 1
 		}
 	}
-	entries, err := os.ReadDir(e.segDir())
+	entries, err := e.fs.ReadDir(e.segDir())
 	if err != nil {
 		return err
 	}
 	for _, ent := range entries {
 		if !ent.IsDir() && !listed[ent.Name()] {
-			if err := os.Remove(filepath.Join(e.segDir(), ent.Name())); err != nil {
+			if err := e.fs.Remove(filepath.Join(e.segDir(), ent.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	walEntries, err := e.fs.ReadDir(filepath.Join(e.opts.Dir, "wal"))
+	if err != nil {
+		return err
+	}
+	for _, ent := range walEntries {
+		if gen, ok := walGenOf(ent.Name()); ok && gen > e.man.WALGen {
+			if err := e.fs.Remove(filepath.Join(e.opts.Dir, "wal", ent.Name())); err != nil {
 				return err
 			}
 		}
@@ -220,7 +298,7 @@ func (e *Engine) recover() error {
 		if ms.Shard < 0 || ms.Shard >= shards {
 			return fmt.Errorf("storage: manifest segment %s claims shard %d of %d", ms.File, ms.Shard, shards)
 		}
-		blocks, mapping, err := loadSegment(filepath.Join(e.segDir(), ms.File))
+		blocks, mapping, err := loadSegment(e.fs, filepath.Join(e.segDir(), ms.File))
 		if err != nil {
 			return err
 		}
@@ -234,36 +312,50 @@ func (e *Engine) recover() error {
 		}
 	}
 
-	// 3. Read and parse every shard's WAL; collect each meter's table
+	// 3. Read and parse every shard's WAL — all generations up to the
+	// manifest's, oldest first; a shard's record stream is their
+	// concatenation. Each file tolerates its own torn tail (truncated here);
+	// damage anywhere else is corruption. Collect each meter's table
 	// history (pass 1 — the segment restore needs tables up front).
 	type shardLog struct {
 		recs  []walRecord
-		valid int64
-		torn  bool
+		valid int64 // current generation's intact byte length
 	}
 	logs := make([]shardLog, shards)
 	tables := make(map[uint64][]*symbolic.Table)
 	for i := 0; i < shards; i++ {
-		raw, err := os.ReadFile(e.walPath(i))
-		if errors.Is(err, fs.ErrNotExist) {
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		recs, valid, torn, err := parseWAL(raw)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.walPath(i), err)
-		}
-		logs[i] = shardLog{recs: recs, valid: valid, torn: torn}
-		e.recovered.WALRecords += len(recs)
-		for _, rec := range recs {
-			if rec.typ == recTable {
-				m, t, err := decodeTable(rec.data)
-				if err != nil {
-					return fmt.Errorf("%s: %w", e.walPath(i), err)
+		for g := uint64(0); g <= e.man.WALGen; g++ {
+			path := e.walGenPath(i, g)
+			raw, err := e.fs.ReadFile(path)
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			recs, valid, torn, err := parseWAL(raw)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if torn {
+				if err := e.fs.Truncate(path, valid); err != nil {
+					return err
 				}
-				tables[m] = append(tables[m], t)
+				e.recovered.TornTails++
+			}
+			logs[i].recs = append(logs[i].recs, recs...)
+			if g == e.man.WALGen {
+				logs[i].valid = valid
+			}
+			e.recovered.WALRecords += len(recs)
+			for _, rec := range recs {
+				if rec.typ == recTable {
+					m, t, err := decodeTable(rec.data)
+					if err != nil {
+						return fmt.Errorf("%s: %w", path, err)
+					}
+					tables[m] = append(tables[m], t)
+				}
 			}
 		}
 	}
@@ -314,7 +406,7 @@ func (e *Engine) recover() error {
 			case recTable:
 				m, t, err := decodeTable(rec.data)
 				if err != nil {
-					return fmt.Errorf("%s: %w", e.walPath(i), err)
+					return fmt.Errorf("shard %d wal: %w", i, err)
 				}
 				tseen[m]++
 				if tseen[m] > installed[m] {
@@ -329,7 +421,7 @@ func (e *Engine) recover() error {
 				var br batchRecord
 				br, ptsScratch, symScratch, err = decodeBatch(rec.data, ptsScratch, symScratch)
 				if err != nil {
-					return fmt.Errorf("%s: %w", e.walPath(i), err)
+					return fmt.Errorf("shard %d wal: %w", i, err)
 				}
 				if int(br.epoch) != tseen[br.meterID]-1 {
 					return fmt.Errorf("%w: meter %d batch under epoch %d, log position implies %d", ErrWALCorrupt, br.meterID, br.epoch, tseen[br.meterID]-1)
@@ -353,7 +445,7 @@ func (e *Engine) recover() error {
 				}
 				e.recovered.ReplayedPoints += int64(len(br.pts))
 			default:
-				return fmt.Errorf("%w: unknown record type %#x in %s", ErrWALCorrupt, rec.typ, e.walPath(i))
+				return fmt.Errorf("%w: unknown record type %#x in shard %d wal", ErrWALCorrupt, rec.typ, i)
 			}
 		}
 	}
@@ -366,22 +458,15 @@ func (e *Engine) recover() error {
 	}
 	e.recovered.Meters = len(tables)
 
-	// 7. Truncate torn tails and open the logs for appending.
-	e.wals = make([]*wal, shards)
+	// 7. Open the current generation's logs for appending (older
+	// generations stay closed — they are replay-only history).
+	e.wals = make([]atomic.Pointer[wal], shards)
 	for i := 0; i < shards; i++ {
-		path := e.walPath(i)
-		valid := logs[i].valid
-		if st, err := os.Stat(path); err == nil && st.Size() > valid {
-			if err := os.Truncate(path, valid); err != nil {
-				return err
-			}
-			e.recovered.TornTails++
-		}
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := e.fs.OpenFile(e.walGenPath(i, e.man.WALGen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
-		e.wals[i] = newWAL(f, valid)
+		e.wals[i].Store(newWAL(f, logs[i].valid))
 	}
 
 	// 8. Hand each recovered meter its ingest state for live sessions.
@@ -391,6 +476,23 @@ func (e *Engine) recover() error {
 		}
 	}
 	return nil
+}
+
+// unwind releases everything a failed recover() opened — WAL fds, segment
+// writer fds, mappings — so a failed Open leaks nothing.
+func (e *Engine) unwind() {
+	for i := range e.wals {
+		if w := e.wals[i].Load(); w != nil {
+			w.close()
+		}
+	}
+	for _, sw := range e.segs {
+		if sw != nil && sw.f != nil {
+			sw.f.Close()
+			sw.f = nil
+		}
+	}
+	e.releaseMaps()
 }
 
 // replayErr classifies a store error hit while re-applying a log record.
@@ -422,9 +524,23 @@ func (e *Engine) ensureMeter(meterID uint64) error {
 }
 
 // SealedBlock implements server.SealSink by routing the block to its shard's
-// segment writer (called under that shard's store lock).
+// segment writer (called under that shard's store lock). A spill failure is
+// NOT a seal failure: the WAL already covers every point in the block, so
+// the engine keeps the heap payload, counts the fallback, and lets the
+// probe re-enable spilling when the directory recovers. Ingest keeps its
+// durability promise either way.
 func (e *Engine) SealedBlock(meterID uint64, blk server.SealedBlock) ([]byte, error) {
-	return e.segs[e.store.ShardFor(meterID)].SealedBlock(meterID, blk)
+	if e.health.spillDisabled.Load() {
+		e.health.spillFallbacks.Add(1)
+		return blk.Payload, nil
+	}
+	adopted, err := e.segs[e.store.ShardFor(meterID)].SealedBlock(meterID, blk)
+	if err != nil {
+		e.disableSpill(err)
+		e.health.spillFallbacks.Add(1)
+		return blk.Payload, nil
+	}
+	return adopted, nil
 }
 
 // --- server.Ingest --------------------------------------------------------
@@ -433,9 +549,14 @@ func (e *Engine) SealedBlock(meterID uint64, blk server.SealedBlock) ([]byte, er
 var ErrClosed = errors.New("storage: engine closed")
 
 // StartSession delegates to the store (sessions are not durable state).
+// A degraded engine refuses new sessions up front — the client learns
+// immediately instead of on its first batch.
 func (e *Engine) StartSession(meterID uint64) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if r := e.health.refuse.Load(); r != nil {
+		return r.err
 	}
 	return e.store.StartSession(meterID)
 }
@@ -452,18 +573,17 @@ func (e *Engine) PushTable(meterID uint64, t *symbolic.Table) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if r := e.health.refuse.Load(); r != nil {
+		return r.err
+	}
 	if _, ok := e.store.Meter(meterID); !ok {
 		return fmt.Errorf("%w: %d", server.ErrUnknownMeter, meterID)
 	}
 	shard := e.store.ShardFor(meterID)
-	end, err := e.wals[shard].appendTable(meterID, t)
-	if err != nil {
+	if _, err := e.walAppend(shard, func(w *wal) (int64, error) {
+		return w.appendTable(meterID, t)
+	}); err != nil {
 		return err
-	}
-	if e.opts.Sync == SyncAlways {
-		if err := e.wals[shard].syncTo(end); err != nil {
-			return err
-		}
 	}
 	if err := e.store.PushTable(meterID, t); err != nil {
 		return err
@@ -483,6 +603,9 @@ func (e *Engine) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
 	if e.closed.Load() {
 		return 0, ErrClosed
 	}
+	if r := e.health.refuse.Load(); r != nil {
+		return 0, r.err
+	}
 	v, ok := e.meters.Load(meterID)
 	if !ok {
 		if _, exists := e.store.Meter(meterID); !exists {
@@ -501,16 +624,62 @@ func (e *Engine) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
 		}
 	}
 	shard := e.store.ShardFor(meterID)
-	end, err := e.wals[shard].appendBatch(meterID, uint32(mm.epoch), mm.level, pts)
-	if err != nil {
+	if _, err := e.walAppend(shard, func(w *wal) (int64, error) {
+		return w.appendBatch(meterID, uint32(mm.epoch), mm.level, pts)
+	}); err != nil {
 		return 0, err
 	}
-	if e.opts.Sync == SyncAlways {
-		if err := e.wals[shard].syncTo(end); err != nil {
+	return e.store.Append(meterID, pts)
+}
+
+// walAppend writes one record through the shard's current log and, under
+// SyncAlways, waits for its covering fsync, classifying failures:
+//
+//   - write fails on the CURRENT log → the durability layer is broken:
+//     degrade and return the typed refusal.
+//   - write refused because the log was poisoned AND a heal has already
+//     rotated a replacement in → retry on the fresh log.
+//   - fsync fails → the record's durability is unknowable and the fsyncgate
+//     rule forbids retrying the fsync (the kernel may have dropped the
+//     dirty pages — a second, succeeding fsync would cover nothing): fail
+//     the batch unacknowledged and degrade. The record stays in the log; if
+//     it did reach disk it may legitimately replay after a crash, which is
+//     exactly the contract of an *unacknowledged* write (at-most-once is
+//     the client's retry discipline, the store never acks it twice).
+func (e *Engine) walAppend(shard int, write func(*wal) (int64, error)) (int64, error) {
+	for {
+		w := e.wals[shard].Load()
+		end, err := write(w)
+		if err != nil {
+			if e.wals[shard].Load() != w {
+				// Rotated mid-append. A poisoned refusal retries on the
+				// fresh log; a genuine write error on the retired log does
+				// not implicate the new one — fail just this batch.
+				if errors.Is(err, errWALPoisoned) {
+					continue
+				}
+				return 0, err
+			}
+			if !errors.Is(err, errWALPoisoned) {
+				e.health.walWriteFailures.Add(1)
+			}
+			e.degrade("wal append", err)
+			if r := e.health.refuse.Load(); r != nil {
+				return 0, r.err
+			}
 			return 0, err
 		}
+		if e.opts.Sync == SyncAlways {
+			if err := w.syncTo(end); err != nil {
+				if e.wals[shard].Load() == w {
+					e.health.fsyncFailures.Add(1)
+					e.degrade("wal fsync", err)
+				}
+				return 0, err
+			}
+		}
+		return end, nil
 	}
-	return e.store.Append(meterID, pts)
 }
 
 // --- Flush / Close --------------------------------------------------------
@@ -523,8 +692,8 @@ func (e *Engine) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
 // must be quiesced while Flush runs.
 func (e *Engine) Flush() error {
 	var errs []error
-	for _, w := range e.wals {
-		if w != nil {
+	for i := range e.wals {
+		if w := e.wals[i].Load(); w != nil {
 			errs = append(errs, w.syncTo(w.written.Load()))
 		}
 	}
@@ -534,9 +703,9 @@ func (e *Engine) Flush() error {
 	return errors.Join(errs...)
 }
 
-// Close flushes, closes the log files and releases the segment mappings.
-// The store must not be queried afterwards: spilled blocks alias the
-// mappings Close unmaps.
+// Close flushes, closes the log files (current and retired) and releases
+// the segment mappings. The store must not be queried afterwards: spilled
+// blocks alias the mappings Close unmaps.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
@@ -546,11 +715,17 @@ func (e *Engine) Close() error {
 		e.syncWG.Wait()
 	}
 	errs := []error{e.Flush()}
-	for _, w := range e.wals {
-		if w != nil {
+	for i := range e.wals {
+		if w := e.wals[i].Load(); w != nil {
 			errs = append(errs, w.close())
 		}
 	}
+	e.retiredMu.Lock()
+	for _, w := range e.retired {
+		errs = append(errs, w.close())
+	}
+	e.retired = nil
+	e.retiredMu.Unlock()
 	e.releaseMaps()
 	return errors.Join(errs...)
 }
@@ -569,11 +744,17 @@ func (e *Engine) Abandon() {
 		close(e.stop)
 		e.syncWG.Wait()
 	}
-	for _, w := range e.wals {
-		if w != nil {
+	for i := range e.wals {
+		if w := e.wals[i].Load(); w != nil {
 			w.close()
 		}
 	}
+	e.retiredMu.Lock()
+	for _, w := range e.retired {
+		w.close()
+	}
+	e.retired = nil
+	e.retiredMu.Unlock()
 	for _, sw := range e.segs {
 		if sw != nil && sw.f != nil {
 			sw.f.Close()
@@ -596,22 +777,45 @@ func (e *Engine) releaseMaps() {
 	e.mapsMu.Lock()
 	defer e.mapsMu.Unlock()
 	for _, m := range e.maps {
-		munmapFile(m)
+		e.fs.Munmap(m)
 	}
 	e.maps = nil
 }
 
-// addSegment records a finished segment in the manifest, atomically.
+// addSegment records a finished segment in the manifest, atomically. A
+// transient manifest-write failure retries with capped backoff; exhausting
+// the retries degrades the engine. Either way the in-memory manifest keeps
+// the entry — the segment file is fully durable (finish fsynced it before
+// calling here), so any later successful manifest write may list it; until
+// one does, recovery treats it as an orphan and re-derives its blocks from
+// the WAL.
 func (e *Engine) addSegment(ms manifestSegment) error {
 	e.manMu.Lock()
 	defer e.manMu.Unlock()
 	e.man.Segments = append(e.man.Segments, ms)
-	return writeManifest(e.opts.Dir, e.man)
+	var err error
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if err = writeManifest(e.fs, e.opts.Dir, e.man); err == nil {
+			return nil
+		}
+		if attempt == 2 {
+			break
+		}
+		e.health.manifestRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 4
+	}
+	e.health.manifestFailures.Add(1)
+	e.degrade("manifest", err)
+	return err
 }
 
 // groupSync is the SyncGroup background fsync loop: every interval, any
-// shard log with unsynced records gets one fsync. Errors stick to the wal
-// and surface on the next Flush/Close (and fail SyncAlways-style waiters).
+// shard log with unsynced records gets one fsync. A failed fsync degrades
+// the engine immediately — the error used to stick silently to the wal and
+// surface one lost batch later; now Health() and the ingest refusal carry
+// it the moment it happens.
 func (e *Engine) groupSync() {
 	defer e.syncWG.Done()
 	t := time.NewTicker(e.opts.GroupInterval)
@@ -622,9 +826,16 @@ func (e *Engine) groupSync() {
 			return
 		case <-t.C:
 		}
-		for _, w := range e.wals {
-			if w != nil && w.dirty() {
-				_ = w.syncTo(w.written.Load())
+		for i := range e.wals {
+			w := e.wals[i].Load()
+			if w == nil || !w.dirty() {
+				continue
+			}
+			if err := w.syncTo(w.written.Load()); err != nil {
+				if e.wals[i].Load() == w {
+					e.health.fsyncFailures.Add(1)
+					e.degrade("wal group fsync", err)
+				}
 			}
 		}
 	}

@@ -10,21 +10,37 @@ import (
 
 // The manifest is the data directory's root pointer: a small JSON document
 // naming every finished segment (in spill order per shard) plus the on-disk
-// format version and the shard count the directory was created with.
-// Recovery trusts only manifest-listed segments — an open segment at crash
-// time has no footer and is deleted, its blocks re-derived from the WAL.
+// format version, the shard count the directory was created with, and the
+// current WAL generation (bumped whenever a degraded-mode heal rotates the
+// logs — see health.go). Recovery trusts only manifest-listed segments — an
+// open segment at crash time has no footer and is deleted, its blocks
+// re-derived from the WAL — and only WAL generations the manifest has
+// activated: generation files above wal_gen were created by a heal that
+// crashed before its manifest barrier landed and are deleted unread.
 //
 // Updates are atomic: write to a temp file, fsync, rename over
 // MANIFEST.json, fsync the directory. A crash leaves either the old or the
-// new manifest, never a torn one.
+// new manifest, never a torn one; a *failed* write additionally removes its
+// temp file so a degraded directory does not accumulate half-written
+// manifests.
 //
 // Format versioning rule (recorded in ROADMAP.md as the contract for future
 // PRs): a reader refuses a manifest whose format is NEWER than it knows
 // (fail loudly rather than misread), and must migrate OLDER formats forward
 // explicitly when the format ever changes.
+//
+// Format history:
+//
+//	1: format, shards, segments (PR 5)
+//	2: adds wal_gen — per-directory WAL generation for degraded-mode log
+//	   rotation. Logs are named shard-NNNN.wal (generation 0, the format-1
+//	   layout) or shard-NNNN-GGGGGG.wal (generation ≥ 1); replay walks a
+//	   shard's generations in order. A format-1 directory migrates forward
+//	   as wal_gen 0; format-1 readers must refuse format-2 directories,
+//	   which is exactly what the rule above makes them do.
 const (
 	manifestName   = "MANIFEST.json"
-	manifestFormat = 1
+	manifestFormat = 2
 )
 
 // ErrFormatTooNew reports a data directory written by a newer binary.
@@ -39,70 +55,71 @@ type manifestSegment struct {
 type manifest struct {
 	Format   int               `json:"format"`
 	Shards   int               `json:"shards"`
+	WALGen   uint64            `json:"wal_gen,omitempty"`
 	Segments []manifestSegment `json:"segments"`
 }
 
 // loadManifest reads dir's manifest; ok is false when none exists (a fresh
-// directory).
-func loadManifest(dir string) (manifest, bool, error) {
-	var m manifest
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+// directory). An older format is migrated forward in memory and reported via
+// migrated so the caller persists the rewrite.
+func loadManifest(fsys FS, dir string) (m manifest, ok, migrated bool, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
-		return m, false, nil
+		return m, false, false, nil
 	}
 	if err != nil {
-		return m, false, err
+		return m, false, false, err
 	}
 	if err := json.Unmarshal(data, &m); err != nil {
-		return m, false, fmt.Errorf("storage: %s: %w", manifestName, err)
+		return m, false, false, fmt.Errorf("storage: %s: %w", manifestName, err)
 	}
 	if m.Format > manifestFormat {
-		return m, false, fmt.Errorf("%w: format %d, this binary reads ≤ %d", ErrFormatTooNew, m.Format, manifestFormat)
+		return m, false, false, fmt.Errorf("%w: format %d, this binary reads ≤ %d", ErrFormatTooNew, m.Format, manifestFormat)
 	}
 	if m.Format < 1 || m.Shards < 1 {
-		return m, false, fmt.Errorf("storage: %s: implausible format %d / shards %d", manifestName, m.Format, m.Shards)
+		return m, false, false, fmt.Errorf("storage: %s: implausible format %d / shards %d", manifestName, m.Format, m.Shards)
 	}
-	return m, true, nil
+	if m.Format < manifestFormat {
+		// Format 1 predates WAL generations: all of its logs are generation
+		// 0 whatever a stray field claims.
+		m.WALGen = 0
+		m.Format = manifestFormat
+		migrated = true
+	}
+	return m, true, migrated, nil
 }
 
-// writeManifest atomically replaces dir's manifest.
-func writeManifest(dir string, m manifest) error {
+// writeManifest atomically replaces dir's manifest. On any failure the temp
+// file is removed (best effort): the previous manifest stays in place and
+// loadable, and no half-written temp survives to confuse an operator or a
+// later retry.
+func writeManifest(fsys FS, dir string, m manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(append(data, '\n')); err != nil {
 		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-// Best-effort: filesystems that refuse directory fsync (overlayfs in some CI
-// containers) still performed the rename atomically, which is the property
-// recovery depends on.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
+	return fsys.SyncDir(dir)
 }

@@ -70,7 +70,7 @@ type segmentWriter struct {
 	seq   uint64 // sequence of the NEXT segment to open
 	cap   int
 
-	f    *os.File
+	f    File
 	m    []byte // shared read-only mapping of the whole capacity (nil on !canMmap)
 	path string
 	off  int64
@@ -84,7 +84,7 @@ func segName(shard int, seq uint64) string {
 // open creates the next segment file at full capacity and maps it.
 func (sw *segmentWriter) open() error {
 	sw.path = filepath.Join(sw.eng.segDir(), segName(sw.shard, sw.seq))
-	f, err := os.OpenFile(sw.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := sw.eng.fs.OpenFile(sw.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -97,7 +97,7 @@ func (sw *segmentWriter) open() error {
 		return err
 	}
 	if canMmap {
-		m, err := mmapFile(f, sw.cap)
+		m, err := sw.eng.fs.Mmap(f, sw.cap)
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("storage: mmap segment %s: %w", sw.path, err)
@@ -168,7 +168,7 @@ func (sw *segmentWriter) finish() error {
 		// Nothing spilled: drop the empty file instead of manifesting it.
 		err := sw.f.Close()
 		sw.f = nil
-		if rmErr := os.Remove(sw.path); err == nil {
+		if rmErr := sw.eng.fs.Remove(sw.path); err == nil {
 			err = rmErr
 		}
 		return err
@@ -221,8 +221,8 @@ func (sw *segmentWriter) finish() error {
 // loadSegment reads a finished segment back: footer validation, one shared
 // mapping, and per-block SealedBlock views whose payloads alias the mapping.
 // Returned blocks are in spill (= seal) order.
-func loadSegment(path string) (blocks []segBlock, mapping []byte, err error) {
-	f, err := os.Open(path)
+func loadSegment(fsys FS, path string) (blocks []segBlock, mapping []byte, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -263,7 +263,7 @@ func loadSegment(path string) (blocks []segBlock, mapping []byte, err error) {
 	if string(hdr[:]) != segMagic {
 		return nil, nil, fmt.Errorf("storage: segment %s: bad magic", path)
 	}
-	mapping, err = mmapFile(f, int(size))
+	mapping, err = fsys.Mmap(f, int(size))
 	if err != nil {
 		return nil, nil, fmt.Errorf("storage: mmap segment %s: %w", path, err)
 	}
@@ -271,7 +271,7 @@ func loadSegment(path string) (blocks []segBlock, mapping []byte, err error) {
 	off := 0
 	for i := 0; i < count; i++ {
 		if off+segBlockMetaLen > len(footer) {
-			munmapFile(mapping)
+			fsys.Munmap(mapping)
 			return nil, nil, fmt.Errorf("storage: segment %s: footer truncated at block %d", path, i)
 		}
 		e := segBlock{meterID: binary.BigEndian.Uint64(footer[off:])}
@@ -289,7 +289,7 @@ func loadSegment(path string) (blocks []segBlock, mapping []byte, err error) {
 		off += segBlockMetaLen
 		if histK > 0 {
 			if off+4*histK > len(footer) {
-				munmapFile(mapping)
+				fsys.Munmap(mapping)
 				return nil, nil, fmt.Errorf("storage: segment %s: footer truncated in block %d histogram", path, i)
 			}
 			e.blk.Hist = make([]uint32, histK)
@@ -299,24 +299,24 @@ func loadSegment(path string) (blocks []segBlock, mapping []byte, err error) {
 			off += 4 * histK
 		}
 		if e.blk.Level < 1 || e.blk.Level > 30 || e.blk.N < 1 {
-			munmapFile(mapping)
+			fsys.Munmap(mapping)
 			return nil, nil, fmt.Errorf("storage: segment %s: block %d has level %d, n %d", path, i, e.blk.Level, e.blk.N)
 		}
 		need := int64((e.blk.N*e.blk.Level + 7) / 8)
 		if e.off < int64(len(segMagic)) || e.off+need > footerOff {
-			munmapFile(mapping)
+			fsys.Munmap(mapping)
 			return nil, nil, fmt.Errorf("storage: segment %s: block %d payload [%d,%d) outside data region", path, i, e.off, e.off+need)
 		}
 		e.blk.Payload = mapping[e.off : e.off+need : e.off+need]
 		if crc32.Checksum(e.blk.Payload, crcC) != e.crc {
-			munmapFile(mapping)
+			fsys.Munmap(mapping)
 			return nil, nil, fmt.Errorf("storage: segment %s: block %d payload CRC mismatch", path, i)
 		}
 		e.blk.Spilled = canMmap
 		blocks = append(blocks, e)
 	}
 	if off != len(footer) {
-		munmapFile(mapping)
+		fsys.Munmap(mapping)
 		return nil, nil, fmt.Errorf("storage: segment %s: %d trailing footer bytes", path, len(footer)-off)
 	}
 	return blocks, mapping, nil

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sync"
 	"sync/atomic"
 
@@ -120,11 +119,23 @@ func (m SyncMode) String() string {
 	return fmt.Sprintf("SyncMode(%d)", int(m))
 }
 
+// errWALPoisoned marks a wal that refused a write because an earlier write
+// on it already failed: the file may hold a torn record at its tail, so
+// writing more behind it would bury the tear mid-log and turn a tolerated
+// torn tail into fatal ErrWALCorrupt at recovery. The engine reacts by
+// retrying on the replacement wal if a heal has rotated one in, or
+// surfacing the original failure if not.
+var errWALPoisoned = errors.New("storage: wal poisoned by earlier write failure")
+
 // wal is one shard's append-only log.
 type wal struct {
 	mu  sync.Mutex // serializes record assembly + write
-	f   *os.File
+	f   File
 	buf []byte // record assembly scratch, reused across appends
+
+	// failed latches the first write error (under mu): the file may end in
+	// a torn record, so every later write is refused with errWALPoisoned.
+	failed error
 
 	// written is the end offset of the last fully-written record, read by
 	// the sync side without the append lock.
@@ -139,7 +150,7 @@ type wal struct {
 	syncErr  error
 }
 
-func newWAL(f *os.File, off int64) *wal {
+func newWAL(f File, off int64) *wal {
 	w := &wal{f: f}
 	w.written.Store(off)
 	w.synced = off
@@ -152,13 +163,18 @@ func newWAL(f *os.File, off int64) *wal {
 // body through beginRecord/w.buf under w.mu; appendRecord is called with
 // w.mu held.
 func (w *wal) writeLocked(buf []byte) (int64, error) {
+	if w.failed != nil {
+		return 0, fmt.Errorf("%w: %w", errWALPoisoned, w.failed)
+	}
 	bodyLen := len(buf) - walHeaderLen
 	binary.BigEndian.PutUint32(buf[0:], uint32(bodyLen))
 	binary.BigEndian.PutUint32(buf[4:], ^uint32(bodyLen))
 	binary.BigEndian.PutUint32(buf[8:], crc32.Checksum(buf[walHeaderLen:], crcC))
 	if _, err := w.f.Write(buf); err != nil {
 		// A partial append leaves a torn tail — exactly what replay
-		// tolerates — but this wal must not write behind it.
+		// tolerates — but this wal must never write behind it: a record
+		// after the tear would make it mid-log corruption.
+		w.failed = err
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	end := w.written.Add(int64(len(buf)))

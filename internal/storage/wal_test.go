@@ -60,7 +60,7 @@ func buildWALFixture(t testing.TB) []byte {
 func walDir(t testing.TB, walBytes []byte) string {
 	t.Helper()
 	dir := t.TempDir()
-	if err := writeManifest(dir, manifest{Format: manifestFormat, Shards: 1}); err != nil {
+	if err := writeManifest(OsFS{}, dir, manifest{Format: manifestFormat, Shards: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {

@@ -102,6 +102,11 @@ var (
 	// ErrQueryLevelTooFine reports a histogram at an impractically fine
 	// symbol level.
 	ErrQueryLevelTooFine = errors.New("transport: histogram level too fine")
+	// ErrServerDegraded reports a server refusing to accept writes because
+	// its durability layer is degraded: queries still work, ingest is
+	// refused until the server heals. Clients should back off and retry —
+	// nothing about the refused batch was written.
+	ErrServerDegraded = errors.New("transport: server storage degraded, ingest refused")
 )
 
 // Error codes carried in 'X' frames.
@@ -113,6 +118,12 @@ const (
 	QErrMixedLevels  byte = 5
 	QErrLevelTooFine byte = 6
 	QErrInternal     byte = 7 // server-side failure outside the caller's control
+	// VerdictDegraded reports the server's storage is degraded and the
+	// operation (an ingest session, typically) was refused. Unlike the
+	// QErr* codes it can arrive on an ingest connection too — the one 'X'
+	// frame the ingest protocol emits, so a sensor learns *why* its stream
+	// ended instead of seeing a bare hangup.
+	VerdictDegraded byte = 8
 )
 
 // QueryError is a server-reported query failure: the typed error response
@@ -145,6 +156,8 @@ func (e *QueryError) Is(target error) bool {
 		return e.Code == QErrVersion
 	case ErrUnknownOp, ErrBadQueryFrame:
 		return e.Code == QErrBadRequest
+	case ErrServerDegraded:
+		return e.Code == VerdictDegraded
 	}
 	return false
 }

@@ -40,6 +40,11 @@ var (
 	ErrMixedLevels = transport.ErrQueryMixedLevels
 	// ErrLevelTooFine reports a histogram at an impractically fine level.
 	ErrLevelTooFine = transport.ErrQueryLevelTooFine
+	// ErrDegraded reports the server refusing ingest because its storage
+	// is degraded. Nothing about the refused write was stored, so it is
+	// safe — and expected — to retry after a backoff (see Backoff.Retry);
+	// queries keep working against the same server throughout.
+	ErrDegraded = transport.ErrServerDegraded
 )
 
 // Agg is an order-insensitive aggregate over a time range, mirroring the

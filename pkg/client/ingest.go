@@ -1,0 +1,240 @@
+package client
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"symmeter/internal/symbolic"
+	"symmeter/internal/transport"
+)
+
+// Ingestor is one ingest session: a meter streaming tables and symbol
+// batches to a server. The wire protocol is one-way — the server answers
+// nothing while the stream is healthy — so server-side refusals surface on
+// the next write (connection torn down) or at Close; in both places the
+// Ingestor reads the server's parting 'X' frame, so a refusal because the
+// server's storage is degraded comes back as a typed ErrDegraded instead
+// of a bare broken pipe. Like Client, an Ingestor is single-goroutine.
+type Ingestor struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	fr      *transport.FrameReader
+	meterID uint64
+	buf     []byte
+	err     error
+}
+
+// verdictWait bounds how long a failing Ingestor waits for the server's
+// parting verdict frame before settling for the raw transport error.
+const verdictWait = 2 * time.Second
+
+// DialIngest connects to a server's ingest listener and performs the
+// handshake for meterID. The returned Ingestor owns the connection.
+func DialIngest(addr string, meterID uint64) (*Ingestor, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ing, err := NewIngestor(conn, meterID)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return ing, nil
+}
+
+// NewIngestor wraps an established connection and performs the handshake.
+func NewIngestor(conn net.Conn, meterID uint64) (*Ingestor, error) {
+	ing := &Ingestor{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		fr:      transport.NewFrameReader(bufio.NewReader(conn)),
+		meterID: meterID,
+	}
+	if err := transport.WriteHandshake(ing.bw, meterID); err != nil {
+		return nil, err
+	}
+	if err := ing.bw.Flush(); err != nil {
+		return nil, ing.fail(err)
+	}
+	return ing, nil
+}
+
+// MeterID returns the session's meter.
+func (ing *Ingestor) MeterID() uint64 { return ing.meterID }
+
+// PushTable sends a lookup table; the first one must precede any batch.
+func (ing *Ingestor) PushTable(t *symbolic.Table) error {
+	if ing.err != nil {
+		return ing.err
+	}
+	body := symbolic.MarshalTable(t)
+	var hdr [5]byte
+	hdr[0] = transport.FrameTable
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(body)))
+	ing.buf = append(append(ing.buf[:0], hdr[:]...), body...)
+	return ing.send()
+}
+
+// Append sends one symbol batch: timestamps firstT + i*window, symbols as
+// given (all at the current table's level). The server acknowledges nothing
+// on success; an error — typed ErrDegraded when the server refused the
+// write because its storage is degraded — means the batch was NOT stored.
+func (ing *Ingestor) Append(firstT, window int64, symbols []symbolic.Symbol) error {
+	if ing.err != nil {
+		return ing.err
+	}
+	var hdr [21]byte
+	hdr[0] = transport.FrameSymbol
+	binary.BigEndian.PutUint64(hdr[5:13], uint64(firstT))
+	binary.BigEndian.PutUint64(hdr[13:21], uint64(window))
+	buf := append(ing.buf[:0], hdr[:]...)
+	buf, err := symbolic.AppendPack(buf, symbols)
+	if err != nil {
+		return err // caller bug (mixed levels); the stream is untouched
+	}
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(buf)-5))
+	ing.buf = buf
+	return ing.send()
+}
+
+// send writes the assembled frame and flushes it to the socket, converting
+// a transport failure into the server's verdict when one was sent.
+func (ing *Ingestor) send() error {
+	if _, err := ing.bw.Write(ing.buf); err != nil {
+		return ing.fail(err)
+	}
+	if err := ing.bw.Flush(); err != nil {
+		return ing.fail(err)
+	}
+	return nil
+}
+
+// Close ends the stream ('E' frame) and waits for the server's reaction: a
+// clean EOF on success, or a parting 'X' verdict (typed ErrDegraded) when
+// the session was refused. Always closes the connection.
+func (ing *Ingestor) Close() error {
+	if ing.conn == nil {
+		return nil
+	}
+	var err error
+	if ing.err == nil {
+		ing.buf = append(ing.buf[:0], transport.FrameEnd, 0, 0, 0, 0)
+		if _, werr := ing.bw.Write(ing.buf); werr == nil {
+			if werr = ing.bw.Flush(); werr != nil {
+				err = ing.fail(werr)
+			}
+		} else {
+			err = ing.fail(werr)
+		}
+		if err == nil {
+			err = ing.readVerdict(true)
+			if err != nil {
+				ing.err = err
+			}
+		}
+	} else {
+		err = ing.err
+	}
+	cerr := ing.conn.Close()
+	ing.conn = nil
+	if ing.err == nil {
+		ing.err = errors.New("client: ingestor closed")
+	}
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// fail poisons the Ingestor. Before settling on the raw transport error it
+// listens briefly for the server's parting 'X' frame — the server writes
+// its verdict before closing, so a torn write usually has a typed cause
+// waiting in the read direction.
+func (ing *Ingestor) fail(err error) error {
+	if ing.err != nil {
+		return ing.err
+	}
+	if verr := ing.readVerdict(false); verr != nil {
+		err = verr
+	}
+	ing.err = err
+	return ing.err
+}
+
+// readVerdict drains the read direction: an 'X' frame decodes into the
+// typed server verdict; EOF means the server closed without complaint
+// (nil). atClose distinguishes the orderly shutdown read (EOF expected)
+// from the post-failure probe (any read trouble defers to the original
+// error, reported as nil here).
+func (ing *Ingestor) readVerdict(atClose bool) error {
+	if err := ing.conn.SetReadDeadline(time.Now().Add(verdictWait)); err != nil {
+		return nil
+	}
+	typ, payload, err := ing.fr.Next()
+	if err != nil {
+		if atClose && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("client: reading close verdict: %w", err)
+		}
+		return nil
+	}
+	if typ != transport.FrameQueryError {
+		if atClose {
+			return fmt.Errorf("client: unexpected %#x frame on ingest stream", typ)
+		}
+		return nil
+	}
+	var res transport.QueryResult
+	if derr := transport.DecodeQueryResponse(typ, payload, &res); derr != nil {
+		var qe *transport.QueryError
+		if errors.As(derr, &qe) {
+			return derr
+		}
+	}
+	return nil
+}
+
+// Backoff retries an operation while the server reports itself degraded
+// (ErrDegraded): exponential delay from Min to Max, at most Attempts tries.
+// Zero fields pick defaults (10ms, 1s, 10). Any error other than
+// ErrDegraded — including success — returns immediately: only the typed
+// "retry later, nothing was written" verdict is worth waiting out.
+type Backoff struct {
+	Min      time.Duration
+	Max      time.Duration
+	Attempts int
+}
+
+// Retry runs fn under the backoff policy and returns its last error.
+func (b Backoff) Retry(fn func() error) error {
+	min, max, attempts := b.Min, b.Max, b.Attempts
+	if min <= 0 {
+		min = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if attempts <= 0 {
+		attempts = 10
+	}
+	delay := min
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !errors.Is(err, ErrDegraded) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > max {
+			delay = max
+		}
+	}
+	return err
+}
