@@ -428,6 +428,29 @@ func BenchmarkUnpack(b *testing.B) {
 	}
 }
 
+// BenchmarkKernels measures the raw packed-symbol kernel family on every
+// available dispatch path (scalar always; AVX2/NEON when the binary and CPU
+// support them), at full SIMD stride over the shared 64K-symbol fixture.
+// Bodies live in internal/benchref so cmd/bench (BENCH_8.json's kernel/*
+// rows and their forced-scalar twins) measures identical code.
+func BenchmarkKernels(b *testing.B) {
+	bodies := benchref.KernelBenchmarks()
+	prev := symbolic.KernelPath()
+	defer func() {
+		if err := symbolic.SetKernelPath(prev); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	for _, path := range symbolic.KernelPaths() {
+		if err := symbolic.SetKernelPath(path); err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"hist", "sum", "unpack", "pack"} {
+			b.Run(path+"/"+name, bodies[name])
+		}
+	}
+}
+
 // BenchmarkQueryEngine measures the compressed-domain query engine against
 // its decode-then-aggregate baseline over a fixture of 32 meters × 4 weeks
 // of 15-minute symbols. The query side reads block summaries and runs LUT

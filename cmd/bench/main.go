@@ -6,7 +6,7 @@
 // results as JSON, so every PR's perf trajectory is recorded as an artifact
 // instead of scrolling away in CI logs.
 //
-//	bench                         # writes BENCH_7.json
+//	bench                         # writes BENCH_8.json
 //	bench -out /tmp/b.json -benchtime 100ms
 //	bench -cpuprofile cpu.out     # profile the query path
 //
@@ -23,7 +23,12 @@
 // replay, and cold queries over mmap-backed spilled blocks. Schema 6 adds a
 // netquery section: the same aggregates asked through pkg/client over
 // loopback TCP — wire vs in-process window latency (protocol overhead) and
-// hot-meter ingest latency while net-query readers run.
+// hot-meter ingest latency while net-query readers run. Schema 8 adds a cpu
+// section (GOARCH, GOAMD64 level, available kernel dispatch paths and the
+// one taken) and a kernel/* family: the raw packed-symbol kernels measured
+// in isolation on the active SIMD path, each with a same-run forced-scalar
+// twin (kernel/<name>-scalar) so the dispatch-path speedup is read off one
+// artifact instead of compared across machines.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"symmeter/internal/benchref"
@@ -117,19 +123,50 @@ type NetQueryStats struct {
 	IngestP99NetReadersNs float64 `json:"ingest_p99_net_readers_ns"`
 }
 
-// Report is the BENCH_7.json document.
+// CPUInfo records what silicon the kernel numbers were taken on and which
+// dispatch tier produced them: two artifacts whose Dispatch fields differ
+// are not comparable for kernel/* rows, and benchdiff skips that family
+// when they (or the schemas) disagree.
+type CPUInfo struct {
+	GOARCH string `json:"goarch"`
+	// GOAMD64 is the amd64 microarchitecture level the binary was compiled
+	// for (v1–v4), empty on other architectures or when unrecorded.
+	GOAMD64 string `json:"goamd64,omitempty"`
+	// KernelPaths lists the dispatch paths this binary+CPU supports
+	// ("scalar" always; "avx2"/"neon" when usable).
+	KernelPaths []string `json:"kernel_paths"`
+	// Dispatch is the path the kernel/* (non-scalar-twin) rows ran on.
+	Dispatch string `json:"dispatch"`
+}
+
+// Report is the BENCH_8.json document.
 type Report struct {
 	Schema   string             `json:"schema"`
 	Go       string             `json:"go"`
 	GOOS     string             `json:"goos"`
 	GOARCH   string             `json:"goarch"`
 	CPUs     int                `json:"cpus"`
+	CPU      CPUInfo            `json:"cpu"`
 	Results  []Result           `json:"results"`
 	Speedups map[string]float64 `json:"speedup_vs_baseline"`
 	Memory   MemoryStats        `json:"memory"`
 	Mixed    MixedStats         `json:"mixed"`
 	Persist  PersistStats       `json:"persist"`
 	NetQuery NetQueryStats      `json:"netquery"`
+}
+
+// goamd64Level reads the GOAMD64 build setting from the binary's build info.
+func goamd64Level() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "GOAMD64" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -142,7 +179,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath    = fs.String("out", "BENCH_7.json", "output JSON path")
+		outPath    = fs.String("out", "BENCH_8.json", "output JSON path")
 		benchtime  = fs.String("benchtime", "", "per-benchmark measuring time, e.g. 100ms (default 1s)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -166,11 +203,17 @@ func run(args []string, out io.Writer) error {
 	defer stopCPU()
 
 	rep := Report{
-		Schema:   "symmeter-bench/7",
-		Go:       runtime.Version(),
-		GOOS:     runtime.GOOS,
-		GOARCH:   runtime.GOARCH,
-		CPUs:     runtime.NumCPU(),
+		Schema: "symmeter-bench/8",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		CPU: CPUInfo{
+			GOARCH:      runtime.GOARCH,
+			GOAMD64:     goamd64Level(),
+			KernelPaths: symbolic.KernelPaths(),
+			Dispatch:    symbolic.KernelPath(),
+		},
 		Speedups: map[string]float64{},
 	}
 	nsOf := map[string]float64{}
@@ -218,6 +261,31 @@ func run(args []string, out io.Writer) error {
 	record("unpack/word", n, func(b *testing.B) { benchref.BenchUnpackWord(b, packed, n) })
 	record("unpack/word-into", n, func(b *testing.B) { benchref.BenchUnpackInto(b, packed, n) })
 	record("unpack/bitwise", n, func(b *testing.B) { benchref.BenchUnpackBitwise(b, packed, n) })
+
+	// Raw kernel family: the packed-symbol kernels measured in isolation at
+	// full SIMD stride, each with a forced-scalar twin in the same run. The
+	// fleet-query fixtures are summary-dominated (full-cover blocks never
+	// scan payload bytes), so this is where the dispatch-path speedup shows.
+	kernelNames := []string{"hist", "sum", "unpack", "pack"}
+	kernelBodies := benchref.KernelBenchmarks()
+	for _, kname := range kernelNames {
+		record("kernel/"+kname, benchref.KernelFixtureSymbols, kernelBodies[kname])
+	}
+	if native := symbolic.KernelPath(); native != "scalar" {
+		if err := symbolic.SetKernelPath("scalar"); err != nil {
+			return err
+		}
+		for _, kname := range kernelNames {
+			record("kernel/"+kname+"-scalar", benchref.KernelFixtureSymbols, kernelBodies[kname])
+			rep.Speedups["kernel_"+kname] = nsOf["kernel/"+kname+"-scalar"] / nsOf["kernel/"+kname]
+		}
+		if err := symbolic.SetKernelPath(native); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "kernel %s vs scalar: hist %.1fx, sum %.1fx, unpack %.1fx, pack %.1fx\n",
+			native, rep.Speedups["kernel_hist"], rep.Speedups["kernel_sum"],
+			rep.Speedups["kernel_unpack"], rep.Speedups["kernel_pack"])
+	}
 
 	table, err := benchref.StoreTable()
 	if err != nil {

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+
+	"symmeter/internal/symbolic"
 )
 
 // TestRunSmoke runs the full benchmark suite at a tiny benchtime and
-// validates the BENCH_7.json structure.
+// validates the BENCH_8.json structure.
 func TestRunSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
@@ -24,11 +27,24 @@ func TestRunSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if rep.Schema != "symmeter-bench/7" {
+	if rep.Schema != "symmeter-bench/8" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	if len(rep.Results) != 19 {
-		t.Fatalf("got %d results, want 19", len(rep.Results))
+	// 19 pre-existing rows + 4 kernel/* rows, + 4 forced-scalar twins when a
+	// native dispatch path exists on this machine.
+	wantResults := 23
+	if symbolic.KernelPath() != "scalar" {
+		wantResults = 27
+	}
+	if len(rep.Results) != wantResults {
+		t.Fatalf("got %d results, want %d", len(rep.Results), wantResults)
+	}
+	// CPU metadata: dispatch path recorded and consistent with the process.
+	if rep.CPU.GOARCH != runtime.GOARCH || rep.CPU.Dispatch != symbolic.KernelPath() {
+		t.Fatalf("cpu section %+v inconsistent with process (dispatch %q)", rep.CPU, symbolic.KernelPath())
+	}
+	if len(rep.CPU.KernelPaths) == 0 || rep.CPU.KernelPaths[0] != "scalar" {
+		t.Fatalf("cpu kernel paths = %v, want scalar first", rep.CPU.KernelPaths)
 	}
 	names := map[string]Result{}
 	for _, r := range rep.Results {
@@ -40,6 +56,7 @@ func TestRunSmoke(t *testing.T) {
 	for _, want := range []string{
 		"pack/word-append", "unpack/word-into", "store/append-batch96",
 		"pack/bitwise", "unpack/bitwise",
+		"kernel/hist", "kernel/sum", "kernel/unpack", "kernel/pack",
 		"query/fleet-sum", "query/fleet-hist", "query/meter-window",
 		"baseline/fleet-sum", "baseline/fleet-hist",
 		"persist/append-batch96", "persist/recover-segments",
@@ -52,7 +69,7 @@ func TestRunSmoke(t *testing.T) {
 		}
 	}
 	// The zero-allocation contracts hold even at smoke benchtime.
-	for _, name := range []string{"pack/word-append", "unpack/word-into", "query/meter-window", "persist/meter-window-cold"} {
+	for _, name := range []string{"pack/word-append", "unpack/word-into", "kernel/hist", "kernel/sum", "query/meter-window", "persist/meter-window-cold"} {
 		if a := names[name].AllocsPerOp; a != 0 {
 			t.Fatalf("%s allocates %d times per op, want 0", name, a)
 		}

@@ -1,19 +1,26 @@
 // Command benchdiff is the CI bench-regression gate: it compares the
 // symbols/sec throughput of matching benchmarks between a committed baseline
-// report (BENCH_6.json) and a freshly-measured one (BENCH_7.json) and fails
+// report (BENCH_7.json) and a freshly-measured one (BENCH_8.json) and fails
 // when any compared benchmark regressed by more than the allowed fraction.
 // Every problem — all regressed benchmarks and all benchmarks missing from
 // the current report — is gathered and reported in one run, so a failing CI
 // log shows the full regression set rather than the first casualty.
 //
-//	benchdiff -baseline BENCH_6.json -current BENCH_7.json -max-regress 0.20
+//	benchdiff -baseline BENCH_7.json -current BENCH_8.json -max-regress 0.20
 //
-// The codec benchmarks (pack/*, unpack/*), the compressed-domain query
-// benchmarks (query/*) and the remote-query benchmarks (netquery/*) are
-// compared by default: the workloads are identical across report schemas, so
-// a slowdown is a real kernel, query-path or wire-path regression rather
-// than a fixture change. Store benchmarks change shape as the storage engine
-// evolves; they are tracked by inspection of the uploaded artifacts instead.
+// The codec benchmarks (pack/*, unpack/*), the raw kernel benchmarks
+// (kernel/*), the compressed-domain query benchmarks (query/*) and the
+// remote-query benchmarks (netquery/*) are compared by default: the
+// workloads are identical across report schemas, so a slowdown is a real
+// kernel, query-path or wire-path regression rather than a fixture change.
+// Store benchmarks change shape as the storage engine evolves; they are
+// tracked by inspection of the uploaded artifacts instead.
+//
+// The kernel/* rows run on whatever SIMD dispatch path the machine supports,
+// so they are only comparable between reports taken on matching silicon:
+// when the two reports' cpu sections disagree on (goarch, dispatch) — or the
+// baseline predates schema 8 and has no cpu section — the kernel/* family is
+// skipped with a note instead of gating AVX2 numbers against scalar ones.
 //
 // Ruler choice matters: a ruler must be a pure CPU kernel so its ratio to
 // the gated benchmark is hardware-invariant. The codec families use their
@@ -28,6 +35,11 @@
 // query/X): both run the identical engine on the identical fixture, so the
 // ratio is pure protocol + loopback-socket overhead, which neither CPU speed
 // nor allocator state moves — a regression there is real wire-path code.
+// That ratio is only meaningful while the twin measures the same engine code
+// in both reports, though: when a change speeds up the engine itself (the
+// twin moves past the regression budget against the hardware ruler), the
+// affected netquery rows fall back to gating against unpack/bitwise — a real
+// wire slowdown still fails, but an engine speedup is not misread as one.
 //
 // The committed baseline was measured on a different machine than CI runs
 // on, so absolute symbols/sec would gate hardware variance, not code. Each
@@ -56,9 +68,13 @@ import (
 )
 
 // report is the subset of a bench JSON document benchdiff needs — it reads
-// both the schema-2 and schema-3 layouts.
+// every schema since 2 (the cpu section is simply absent before schema 8).
 type report struct {
-	Schema  string `json:"schema"`
+	Schema string `json:"schema"`
+	CPU    struct {
+		GOARCH   string `json:"goarch"`
+		Dispatch string `json:"dispatch"`
+	} `json:"cpu"`
 	Results []struct {
 		Name          string  `json:"name"`
 		SymbolsPerSec float64 `json:"symbols_per_sec"`
@@ -75,10 +91,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_6.json", "committed baseline report")
-		currentPath  = fs.String("current", "BENCH_7.json", "freshly-measured report")
+		baselinePath = fs.String("baseline", "BENCH_7.json", "committed baseline report")
+		currentPath  = fs.String("current", "BENCH_8.json", "freshly-measured report")
 		maxRegress   = fs.Float64("max-regress", 0.20, "maximum allowed throughput regression fraction")
-		prefixes     = fs.String("prefixes", "pack/,unpack/,query/,netquery/", "comma-separated benchmark name prefixes to compare")
+		prefixes     = fs.String("prefixes", "pack/,unpack/,kernel/,query/,netquery/", "comma-separated benchmark name prefixes to compare")
 		exclude      = fs.String("exclude", "pack/word,unpack/word,query/meter-window", "comma-separated exact benchmark names to skip (allocator-noise-dominated or ruler-less)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,8 +122,41 @@ func run(args []string, out io.Writer) error {
 			excluded[name] = true
 		}
 	}
+	// Kernel rows measure whatever SIMD tier each machine dispatched to;
+	// comparing an AVX2 current against a scalar (or pre-schema-8) baseline
+	// would gate silicon, not code.
+	kernelComparable := base.CPU.GOARCH == cur.CPU.GOARCH &&
+		base.CPU.Dispatch == cur.CPU.Dispatch && cur.CPU.Dispatch != ""
+	if !kernelComparable {
+		fmt.Fprintf(out, "kernel/* skipped: baseline dispatch %q/%q vs current %q/%q not comparable\n",
+			base.CPU.GOARCH, base.CPU.Dispatch, cur.CPU.GOARCH, cur.CPU.Dispatch)
+	}
+	// The netquery rows gate wire overhead by normalizing against their
+	// same-run in-process engine twin — a ratio that is only meaningful while
+	// the twin measures the same engine code in both reports. When a change
+	// speeds up the engine itself (the twin moves against the hardware ruler),
+	// the wire/engine ratio shifts with no wire-path change at all, and gating
+	// it would flag an engine improvement as a wire regression. Such rows fall
+	// back to the hardware ruler (unpack/bitwise), which still catches a
+	// genuine wire-path slowdown, and say so in the output.
+	twinShift := func(name string) (shift float64, moved bool) {
+		family, rest, ok := strings.Cut(name, "/")
+		if !ok || family != "netquery" {
+			return 0, false
+		}
+		baseRuler, curRuler := baseOf["unpack/bitwise"], curOf["unpack/bitwise"]
+		baseTwin, curTwin := baseOf["query/"+rest], curOf["query/"+rest]
+		if baseRuler <= 0 || curRuler <= 0 || baseTwin <= 0 || curTwin <= 0 {
+			return 0, false
+		}
+		shift = (curTwin / curRuler) / (baseTwin / baseRuler)
+		return shift, shift > 1+*maxRegress || shift < 1-*maxRegress
+	}
 	gated := func(name string) bool {
 		if excluded[name] {
+			return false
+		}
+		if strings.HasPrefix(name, "kernel/") && !kernelComparable {
 			return false
 		}
 		for _, p := range wanted {
@@ -131,6 +180,10 @@ func run(args []string, out io.Writer) error {
 		// the hardware factor cancels; the family baseline itself (x/bitwise)
 		// then always compares at 1.00x, which is correct — it is the ruler.
 		refNorm, curNorm := normalizer(baseOf, r.Name), normalizer(curOf, r.Name)
+		if shift, moved := twinShift(r.Name); moved {
+			fmt.Fprintf(out, "%s: engine twin moved %.2fx vs the hardware ruler; gating against unpack/bitwise instead\n", r.Name, shift)
+			refNorm, curNorm = baseOf["unpack/bitwise"], curOf["unpack/bitwise"]
+		}
 		if refNorm <= 0 || curNorm <= 0 {
 			refNorm, curNorm = 1, 1
 		}
@@ -205,6 +258,12 @@ func normalizer(rates map[string]float64, name string) float64 {
 		return rates["unpack/bitwise"]
 	case "netquery":
 		return rates["query/"+rest]
+	case "kernel":
+		// The kernel family's hardware ruler is the same pure integer
+		// bit-at-a-time decoder the query family uses; the forced-scalar
+		// twins (kernel/X-scalar) normalize by it identically, so both the
+		// SIMD rows and their scalar twins gate speedup-over-ruler.
+		return rates["unpack/bitwise"]
 	}
 	return rates[family+"/bitwise"]
 }

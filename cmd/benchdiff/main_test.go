@@ -11,14 +11,29 @@ import (
 
 func writeReport(t *testing.T, dir, name, schema string, rates map[string]float64) string {
 	t.Helper()
+	return writeReportCPU(t, dir, name, schema, "", "", rates)
+}
+
+// writeReportCPU writes a report carrying a schema-8 cpu section when goarch
+// is non-empty (older schemas simply omit it).
+func writeReportCPU(t *testing.T, dir, name, schema, goarch, dispatch string, rates map[string]float64) string {
+	t.Helper()
 	type result struct {
 		Name          string  `json:"name"`
 		SymbolsPerSec float64 `json:"symbols_per_sec"`
 	}
+	type cpu struct {
+		GOARCH   string `json:"goarch"`
+		Dispatch string `json:"dispatch"`
+	}
 	doc := struct {
 		Schema  string   `json:"schema"`
+		CPU     *cpu     `json:"cpu,omitempty"`
 		Results []result `json:"results"`
 	}{Schema: schema}
+	if goarch != "" {
+		doc.CPU = &cpu{GOARCH: goarch, Dispatch: dispatch}
+	}
 	for bench, r := range rates {
 		doc.Results = append(doc.Results, result{Name: bench, SymbolsPerSec: r})
 	}
@@ -253,6 +268,113 @@ func TestDiffReportsAllProblemsAtOnce(t *testing.T) {
 	// Both comparisons were printed before failing — nothing died early.
 	if got := strings.Count(out.String(), "REGRESSED"); got != 2 {
 		t.Errorf("want 2 REGRESSED lines in output, got %d:\n%s", got, out.String())
+	}
+}
+
+// TestDiffKernelDispatchGuard pins the kernel-family comparability rule:
+// kernel/* rows gate only when both reports ran the same dispatch path on
+// the same GOARCH. A dispatch mismatch — including a pre-schema-8 baseline
+// with no cpu section at all — skips the family (even a 10x "regression"
+// passes, with a skip note), it does not lose the other families' gating.
+func TestDiffKernelDispatchGuard(t *testing.T) {
+	dir := t.TempDir()
+	kernelRates := func(kps float64) map[string]float64 {
+		return map[string]float64{
+			"kernel/hist":      kps,
+			"unpack/bitwise":   100000,
+			"unpack/word-into": 400000,
+		}
+	}
+	oldBase := writeReport(t, dir, "old.json", "symmeter-bench/7", kernelRates(1000000))
+	scalarBase := writeReportCPU(t, dir, "scalar.json", "symmeter-bench/8", "amd64", "scalar", kernelRates(1000000))
+	avx2Slow := writeReportCPU(t, dir, "avx2.json", "symmeter-bench/8", "amd64", "avx2", kernelRates(100000))
+
+	for _, tc := range []struct{ name, base string }{
+		{"pre-schema-8 baseline", oldBase},
+		{"dispatch mismatch", scalarBase},
+	} {
+		var out bytes.Buffer
+		if err := run([]string{"-baseline", tc.base, "-current", avx2Slow}, &out); err != nil {
+			t.Fatalf("%s: kernel rows gated across dispatch paths: %v\n%s", tc.name, err, out.String())
+		}
+		if !strings.Contains(out.String(), "kernel/* skipped") {
+			t.Fatalf("%s: no skip note:\n%s", tc.name, out.String())
+		}
+	}
+
+	// Same dispatch on both sides: a kernel regression must gate.
+	avx2Base := writeReportCPU(t, dir, "avx2base.json", "symmeter-bench/8", "amd64", "avx2", kernelRates(1000000))
+	var out bytes.Buffer
+	err := run([]string{"-baseline", avx2Base, "-current", avx2Slow}, &out)
+	if err == nil || !strings.Contains(err.Error(), "kernel/hist") {
+		t.Fatalf("matched-dispatch kernel regression not caught: %v\n%s", err, out.String())
+	}
+
+	// The guard must not mask regressions in other families.
+	otherSlow := writeReportCPU(t, dir, "otherslow.json", "symmeter-bench/8", "amd64", "avx2",
+		map[string]float64{
+			"kernel/hist":      1000000,
+			"unpack/bitwise":   100000,
+			"unpack/word-into": 100000, // -75% vs scalarBase's 4x ruler ratio
+		})
+	err = run([]string{"-baseline", scalarBase, "-current", otherSlow}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unpack/word-into") {
+		t.Fatalf("dispatch skip swallowed a codec regression: %v\n%s", err, out.String())
+	}
+}
+
+// TestDiffNetqueryTwinShiftFallback pins the netquery comparability rule:
+// when the in-process engine twin itself moved past the regression budget
+// against the hardware ruler (an engine speedup, not a wire change), the
+// netquery row is gated against unpack/bitwise instead of the twin — so an
+// engine improvement does not read as a wire regression, but a genuine
+// wire-path slowdown still fails even with the twin shifted.
+func TestDiffNetqueryTwinShiftFallback(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "symmeter-bench/7", map[string]float64{
+		"netquery/meter-window": 300000,  // 10x wire overhead vs the twin
+		"query/meter-window":    3000000, // 30x the hardware ruler
+		"unpack/bitwise":        100000,
+	})
+	// Engine sped up 2x against the ruler; wire throughput unchanged. The
+	// twin-normalized ratio would be 0.50x — a false regression.
+	engineFaster := writeReport(t, dir, "fast.json", "symmeter-bench/8", map[string]float64{
+		"netquery/meter-window": 300000,
+		"query/meter-window":    6000000,
+		"unpack/bitwise":        100000,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", engineFaster, "-prefixes", "netquery/"}, &out); err != nil {
+		t.Fatalf("engine speedup misread as wire regression: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "engine twin moved") {
+		t.Fatalf("no twin-shift note:\n%s", out.String())
+	}
+	// Engine sped up AND the wire path genuinely slowed 2x against the
+	// hardware ruler: the fallback must still catch it.
+	wireSlow := writeReport(t, dir, "slow.json", "symmeter-bench/8", map[string]float64{
+		"netquery/meter-window": 150000,
+		"query/meter-window":    6000000,
+		"unpack/bitwise":        100000,
+	})
+	out.Reset()
+	err := run([]string{"-baseline", base, "-current", wireSlow, "-prefixes", "netquery/"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "netquery/meter-window") {
+		t.Fatalf("wire regression masked by twin-shift fallback: %v\n%s", err, out.String())
+	}
+	// A stable twin keeps the precise wire-overhead gate: wire throughput
+	// that only tracks the twin's small drift must pass via the twin ruler.
+	stableTwin := writeReport(t, dir, "stable.json", "symmeter-bench/8", map[string]float64{
+		"netquery/meter-window": 270000,  // 0.90x — fine against a 0.90x twin
+		"query/meter-window":    2700000, // within the 20% twin-shift budget
+		"unpack/bitwise":        100000,
+	})
+	out.Reset()
+	if err := run([]string{"-baseline", base, "-current", stableTwin, "-prefixes", "netquery/"}, &out); err != nil {
+		t.Fatalf("stable-twin wire ratio misgated: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "engine twin moved") {
+		t.Fatalf("twin-shift note on a stable twin:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,93 @@
+package benchref
+
+import (
+	"math/rand"
+	"testing"
+
+	"symmeter/internal/symbolic"
+)
+
+// Kernel-family fixture and benchmark bodies: the raw packed-symbol kernels
+// measured in isolation, big enough that the SIMD tiers run at full stride
+// (the fleet-query fixtures are summary-dominated and barely touch payload
+// bytes, so the dispatch-path speedup is demonstrated here). cmd/bench runs
+// each body twice — once on the best available dispatch path, once forced
+// scalar via symbolic.SetKernelPath — and records the ratio.
+
+// KernelFixtureSymbols is the level-4 symbol count of the kernel fixture:
+// 128 sealed blocks' worth, 32 KiB of payload.
+const KernelFixtureSymbols = 128 * 512
+
+// KernelFixture builds the level-4 kernel fixture: a packed payload of
+// KernelFixtureSymbols random symbols, the same symbols as a slice (for the
+// codec kernels), block-sized spans with ragged edges (for the batch fold),
+// and a reconstruction-value table.
+func KernelFixture() (payload []byte, syms []symbolic.Symbol, spans []symbolic.PackedSpan, values []float64) {
+	rng := rand.New(rand.NewSource(17))
+	n := KernelFixtureSymbols
+	payload = make([]byte, n/2)
+	syms = make([]symbolic.Symbol, n)
+	for i := range syms {
+		idx := uint32(rng.Intn(16))
+		symbolic.PackSymbolAt(payload, 4, i, idx)
+		syms[i] = symbolic.NewSymbol(int(idx), 4)
+	}
+	for start := 0; start < n; start += 512 {
+		end := start + 512
+		if end > n {
+			end = n
+		}
+		// Ragged edges exercise the odd-offset handling the query engine's
+		// partially-covered blocks hit.
+		spans = append(spans, symbolic.PackedSpan{Payload: payload, Start: start + 1, End: end - 1})
+	}
+	values = make([]float64, 16)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+	}
+	return payload, syms, spans, values
+}
+
+// BenchKernelHist measures PackedRangeHistogram over the whole fixture
+// payload with unaligned ends.
+func BenchKernelHist(b *testing.B, payload []byte, perOp int) {
+	b.ReportAllocs()
+	var hist [16]uint64
+	for i := 0; i < b.N; i++ {
+		clear(hist[:])
+		symbolic.PackedRangeHistogram(hist[:], payload, 4, 1, perOp-1)
+	}
+	reportSymbols(b, perOp)
+}
+
+// BenchKernelSum measures the batched sum fold the query engine runs per
+// meter: one histogram over all spans, one float aggregate derived from it.
+func BenchKernelSum(b *testing.B, spans []symbolic.PackedSpan, values []float64, perOp int) {
+	b.ReportAllocs()
+	var hist [16]uint64
+	for i := 0; i < b.N; i++ {
+		clear(hist[:])
+		symbolic.PackedRangeHistogramBatch(hist[:], 4, spans)
+		if c, _, _, _ := symbolic.HistogramAggregate(hist[:], values); c == 0 {
+			b.Fatal("empty fold")
+		}
+	}
+	reportSymbols(b, perOp)
+}
+
+// KernelBenchmarks returns the kernel-family benchmark bodies keyed by name,
+// so cmd/bench and the repo's bench_test.go measure identical code.
+func KernelBenchmarks() map[string]func(b *testing.B) {
+	payload, syms, spans, values := KernelFixture()
+	packed, err := symbolic.Pack(syms)
+	if err != nil {
+		panic(err)
+	}
+	n := KernelFixtureSymbols
+	return map[string]func(b *testing.B){
+		"hist":   func(b *testing.B) { BenchKernelHist(b, payload, n) },
+		"sum":    func(b *testing.B) { BenchKernelSum(b, spans, values, n) },
+		"unpack": func(b *testing.B) { BenchUnpackInto(b, packed, n) },
+		"pack":   func(b *testing.B) { BenchPackAppend(b, syms) },
+	}
+}

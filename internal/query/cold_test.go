@@ -11,7 +11,7 @@ import (
 
 // Cold-read path: queries over blocks whose payloads were spilled to
 // segment files and adopted back as mmapped regions must run through the
-// same packed LUT kernels with the same zero-allocation, lock-free
+// same packed kernels with the same zero-allocation, lock-free
 // properties as heap-resident sealed blocks — the BlockView contract does
 // not care where the bytes live.
 

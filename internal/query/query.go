@@ -8,17 +8,19 @@
 // Four mechanisms make it fast:
 //
 //   - Lock-free sealed reads: every aggregate runs against the meter's
-//     RCU-published sealed-block index (server.Meter.VisitRange), so queries
-//     never contend with ingest for shard locks — the only lock the read
-//     path ever takes is a brief one to fold the live tail block, and only
-//     when the range actually reaches it.
+//     RCU-published sealed-block index (server.Meter.CollectRange), so
+//     queries never contend with ingest for shard locks — the only lock the
+//     read path ever takes is a brief one to fold the live tail block, and
+//     only when the range actually reaches it.
 //   - Time-directory pruning: per-meter range resolution binary-searches the
 //     published firstT directory, touching O(log B + blocks in range)
 //     instead of walking the whole chain.
-//   - Block summaries + LUT kernels: a block fully covered by the range
-//     contributes its precomputed count/sum/histogram/min/max in O(1); a
-//     partially-covered edge block is aggregated by the word-at-a-time
-//     kernels in internal/symbolic without unpacking.
+//   - Block summaries + batched kernels: a block fully covered by the range
+//     contributes its precomputed count/sum/histogram/min/max in O(1);
+//     partially-covered edge blocks are gathered as spans and handed to one
+//     batch kernel call per meter (internal/symbolic's SIMD-dispatched
+//     histogram kernels), folded into floats once per meter rather than once
+//     per block.
 //   - Bounded worker pool: fleet-wide queries run a fixed pool of workers
 //     (SetWorkers, default GOMAXPROCS) pulling shards from a shared cursor,
 //     so query parallelism scales with cores independently of shard count
@@ -233,21 +235,110 @@ func foldEdge(v server.BlockView, i0, i1 int) (sum, minV, maxV float64) {
 	return sum, minV, maxV
 }
 
-// blockSum returns one block's sum and count over [t0, t1), preferring the
-// per-byte partial-sum LUT for edge blocks at the byte-aligned levels.
-func blockSum(v server.BlockView, t0, t1 int64) (float64, uint64) {
-	i0, i1 := overlap(v, t0, t1)
-	if i0 == i1 {
-		return 0, 0
+// meterScratch is the reusable per-meter gather state of the batched fold:
+// the sealed views CollectRange returns, the edge spans grouped for one
+// batch kernel call, and the shared histogram those spans fold into. Pooled
+// so steady-state queries allocate nothing once the slices have grown to
+// the working set.
+type meterScratch struct {
+	views []server.BlockView
+	spans []symbolic.PackedSpan
+	hist  []uint64
+}
+
+// scratchFree is a fixed-capacity freelist of meterScratch, not a sync.Pool:
+// under the race detector sync.Pool deliberately drops a fraction of Puts,
+// which would fail the AllocsPerRun pins CI runs with -race. Channel ops
+// never allocate, so steady-state queries stay at zero allocations on every
+// build. Capacity covers the worker-pool bound with headroom.
+var scratchFree = make(chan *meterScratch, 64)
+
+func getScratch() *meterScratch {
+	select {
+	case sc := <-scratchFree:
+		return sc
+	default:
+		return new(meterScratch)
 	}
-	if i0 == 0 && i1 == v.N {
-		return v.Sum, uint64(v.N)
+}
+
+func putScratch(sc *meterScratch) {
+	select {
+	case scratchFree <- sc:
+	default:
 	}
-	if v.ByteSums != nil {
-		return symbolic.PackedRangeSumLUT(v.ByteSums, v.Values, v.Payload, v.Level, i0, i1), uint64(i1 - i0)
+}
+
+// flushSpans folds the gathered edge spans — all at the same level, under
+// the same reconstruction values — into a: one batch histogram kernel call,
+// one histogram→float fold. Clears the span list.
+func (sc *meterScratch) flushSpans(a *Agg, level int, values []float64) {
+	if len(sc.spans) == 0 {
+		return
 	}
-	sum, _, _ := foldEdge(v, i0, i1)
-	return sum, uint64(i1 - i0)
+	k := 1 << uint(level)
+	if cap(sc.hist) < k {
+		sc.hist = make([]uint64, k)
+	} else {
+		sc.hist = sc.hist[:k]
+		clear(sc.hist)
+	}
+	symbolic.PackedRangeHistogramBatch(sc.hist, level, sc.spans)
+	if c, s, lo, hi := symbolic.HistogramAggregate(sc.hist, values); c > 0 {
+		a.observe(lo, hi)
+		a.Count += c
+		a.Sum += s
+	}
+	sc.spans = sc.spans[:0]
+}
+
+// sameValues reports whether two reconstruction-value slices are the same
+// array — the cheap identity check that decides whether edge spans may share
+// one histogram fold. Tables are immutable, so identity implies equality.
+func sameValues(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// aggregateMeter folds one meter's [t0, t1) contribution into a using the
+// batch read path: sealed views are collected lock-free (retainable — they
+// are immutable), fully-covered blocks contribute their summaries, and edge
+// spans are gathered per (level, table) run and folded through one batch
+// histogram kernel call per run. The live tail, which must not outlive the
+// shard read lock, is folded inside the collect callback exactly as the
+// per-block path used to.
+func (e *Engine) aggregateMeter(a *Agg, sc *meterScratch, m server.Meter, t0, t1 int64) {
+	sc.views = m.CollectRange(t0, t1, sc.views[:0], func(v server.BlockView) {
+		foldBlock(a, v, t0, t1)
+	})
+	curLevel := -1
+	var curValues []float64
+	for i := range sc.views {
+		v := &sc.views[i]
+		i0, i1 := overlap(*v, t0, t1)
+		if i0 == i1 {
+			continue
+		}
+		if i0 == 0 && i1 == v.N {
+			a.observe(v.MinV, v.MaxV)
+			a.Count += uint64(v.N)
+			a.Sum += v.Sum
+			continue
+		}
+		if v.Level > maxFoldLevel {
+			// Too fine for a histogram: accumulator walk, straight into a.
+			sum, lo, hi := symbolic.PackedRangeAggregate(v.Values, v.Payload, v.Level, i0, i1)
+			a.observe(lo, hi)
+			a.Count += uint64(i1 - i0)
+			a.Sum += sum
+			continue
+		}
+		if v.Level != curLevel || !sameValues(v.Values, curValues) {
+			sc.flushSpans(a, curLevel, curValues)
+			curLevel, curValues = v.Level, v.Values
+		}
+		sc.spans = append(sc.spans, symbolic.PackedSpan{Payload: v.Payload, Start: i0, End: i1})
+	}
+	sc.flushSpans(a, curLevel, curValues)
 }
 
 // Aggregate computes count, sum, min and max for one meter over [t0, t1) in
@@ -259,9 +350,9 @@ func (e *Engine) Aggregate(meterID uint64, t0, t1 int64) (Agg, bool) {
 		return Agg{}, false
 	}
 	var a Agg
-	m.VisitRange(t0, t1, func(v server.BlockView) {
-		foldBlock(&a, v, t0, t1)
-	})
+	sc := getScratch()
+	e.aggregateMeter(&a, sc, m, t0, t1)
+	putScratch(sc)
 	return a, true
 }
 
@@ -281,27 +372,18 @@ func (e *Engine) Count(meterID uint64, t0, t1 int64) (uint64, bool) {
 	return n, true
 }
 
-// sumCount is the shared single-pass fold under Sum, Mean and the wire
-// path's OpSum/OpMean: one summary-plus-LUT pass yielding both sum and
-// count, so every caller folds blocks in the same order and gets
-// bit-identical floats.
+// sumCount is the shared fold under Sum, Mean and the wire path's
+// OpSum/OpMean: the same batched aggregate fold Aggregate runs, so Sum,
+// Mean and Aggregate.Sum are bit-identical floats by construction — one
+// fold, not three reimplementations that happen to agree.
 func (e *Engine) sumCount(meterID uint64, t0, t1 int64) (float64, uint64, bool) {
-	m, ok := e.store.Meter(meterID)
-	if !ok {
-		return 0, 0, false
-	}
-	var sum float64
-	var n uint64
-	m.VisitRange(t0, t1, func(v server.BlockView) {
-		s, c := blockSum(v, t0, t1)
-		sum += s
-		n += c
-	})
-	return sum, n, true
+	a, ok := e.Aggregate(meterID, t0, t1)
+	return a.Sum, a.Count, ok
 }
 
 // Sum returns the sum of reconstruction values for the meter in [t0, t1),
-// using block summaries and the per-byte sum LUT for edges.
+// using block summaries and the batched histogram kernels for edges. It is
+// bit-identical to Aggregate's Sum by construction (one shared fold).
 func (e *Engine) Sum(meterID uint64, t0, t1 int64) (float64, bool) {
 	sum, _, ok := e.sumCount(meterID, t0, t1)
 	return sum, ok
@@ -377,14 +459,28 @@ func (e *Engine) HistogramInto(h *Histogram, meterID uint64, t0, t1 int64) (bool
 	if !ok {
 		return false, nil
 	}
+	sc := getScratch()
+	err := histogramMeter(h, sc, m, t0, t1)
+	putScratch(sc)
+	return true, err
+}
+
+// histogramMeter folds one meter's [t0, t1) distribution into h over the
+// batch read path: the tail inside the collect callback, sealed views from
+// the collected slice. Fold order matches the aggregate path; counts are
+// integers, so order never shows in the result.
+func histogramMeter(h *Histogram, sc *meterScratch, m server.Meter, t0, t1 int64) error {
 	var ferr error
-	m.VisitRange(t0, t1, func(v server.BlockView) {
-		if ferr != nil {
-			return
-		}
+	sc.views = m.CollectRange(t0, t1, sc.views[:0], func(v server.BlockView) {
 		ferr = foldHistogram(h, v, t0, t1)
 	})
-	return true, ferr
+	for i := range sc.views {
+		if ferr != nil {
+			return ferr
+		}
+		ferr = foldHistogram(h, sc.views[i], t0, t1)
+	}
+	return ferr
 }
 
 // Histogram computes the per-symbol distribution for one meter over [t0, t1).
@@ -440,49 +536,33 @@ func (e *Engine) poolSize() int {
 
 // FleetAggregate computes count/sum/min/max across every meter in [t0, t1)
 // on the bounded worker pool, reading published indexes lock-free and
-// merging per-worker partials.
+// merging per-worker partials. Each worker folds meters through the batched
+// read path with one reused scratch — the per-block visitor closures the
+// fleet fold used to rebuild per meter are gone.
 func (e *Engine) FleetAggregate(t0, t1 int64) Agg {
 	nw := e.poolSize()
 	partials := make([]Agg, nw)
+	scratches := make([]*meterScratch, nw)
+	for i := range scratches {
+		scratches[i] = getScratch()
+	}
 	e.forMeters(nw, func(w int, m server.Meter) {
-		// Accumulate into a local and store once per meter: per-worker
-		// partials are written only by their worker, and the hot loop folds
-		// into a register-resident Agg.
-		a := partials[w]
-		m.VisitRange(t0, t1, func(v server.BlockView) {
-			foldBlock(&a, v, t0, t1)
-		})
-		partials[w] = a
+		e.aggregateMeter(&partials[w], scratches[w], m, t0, t1)
 	})
 	var out Agg
 	for i := range partials {
 		out.merge(partials[i])
+		putScratch(scratches[i])
 	}
 	return out
 }
 
-// FleetSum returns the fleet-wide sum over [t0, t1) on the bounded worker
-// pool, using the sum-only fast path (summaries + byte-sum LUT edges).
+// FleetSum returns the fleet-wide sum and count over [t0, t1): the same
+// batched fold as FleetAggregate, exposed in the shape the wire path's
+// fleet opcodes serialize.
 func (e *Engine) FleetSum(t0, t1 int64) (float64, uint64) {
-	nw := e.poolSize()
-	sums := make([]float64, nw)
-	counts := make([]uint64, nw)
-	e.forMeters(nw, func(w int, m server.Meter) {
-		sum, count := sums[w], counts[w]
-		m.VisitRange(t0, t1, func(v server.BlockView) {
-			s, c := blockSum(v, t0, t1)
-			sum += s
-			count += c
-		})
-		sums[w], counts[w] = sum, count
-	})
-	var sum float64
-	var count uint64
-	for i := 0; i < nw; i++ {
-		sum += sums[i]
-		count += counts[i]
-	}
-	return sum, count
+	a := e.FleetAggregate(t0, t1)
+	return a.Sum, a.Count
 }
 
 // FleetHistogram computes the fleet-wide per-symbol distribution over
@@ -492,17 +572,19 @@ func (e *Engine) FleetHistogram(t0, t1 int64) (Histogram, error) {
 	nw := e.poolSize()
 	partials := make([]Histogram, nw)
 	errs := make([]error, nw)
+	scratches := make([]*meterScratch, nw)
+	for i := range scratches {
+		scratches[i] = getScratch()
+	}
 	e.forMeters(nw, func(w int, m server.Meter) {
 		if errs[w] != nil {
 			return
 		}
-		m.VisitRange(t0, t1, func(v server.BlockView) {
-			if errs[w] != nil {
-				return
-			}
-			errs[w] = foldHistogram(&partials[w], v, t0, t1)
-		})
+		errs[w] = histogramMeter(&partials[w], scratches[w], m, t0, t1)
 	})
+	for i := range scratches {
+		putScratch(scratches[i])
+	}
 	var out Histogram
 	for i := 0; i < nw; i++ {
 		if errs[i] != nil {

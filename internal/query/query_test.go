@@ -361,11 +361,11 @@ func TestExtremeTimestampQueries(t *testing.T) {
 }
 
 // TestQueryZeroAlloc pins the satellite contract: block-summary queries and
-// LUT edge-kernel queries allocate nothing in steady state.
+// batched-kernel edge queries allocate nothing in steady state.
 func TestQueryZeroAlloc(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	st := server.NewStore(1)
-	table := randTable(t, rng, 4) // level 4: ByteSums LUT path
+	table := randTable(t, rng, 4) // level 4: packed-kernel fast path
 	last := seedMeter(t, st, rng, 1, table, 3000, 0, 0)
 	e := New(st)
 	full := func() { // summary-only: covers every block exactly
@@ -373,7 +373,7 @@ func TestQueryZeroAlloc(t *testing.T) {
 			t.Fatal("bad aggregate")
 		}
 	}
-	partial := func() { // cuts inside blocks on both ends: LUT kernels
+	partial := func() { // cuts inside blocks on both ends: edge kernels
 		if s, ok := e.Sum(1, 100*900, 2500*900+450); !ok || s == 0 {
 			t.Fatal("bad sum")
 		}
@@ -392,7 +392,7 @@ func TestQueryZeroAlloc(t *testing.T) {
 		t.Fatalf("summary query allocates %.1f times per run, want 0", a)
 	}
 	if a := testing.AllocsPerRun(100, partial); a != 0 {
-		t.Fatalf("LUT edge query allocates %.1f times per run, want 0", a)
+		t.Fatalf("edge-kernel query allocates %.1f times per run, want 0", a)
 	}
 	if a := testing.AllocsPerRun(100, hist); a != 0 {
 		t.Fatalf("HistogramInto allocates %.1f times per run, want 0", a)

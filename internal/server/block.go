@@ -161,9 +161,12 @@ func (b *block) push(t int64, idx uint32, v float64) {
 }
 
 // BlockView is a read-only view of one packed block plus its epoch table's
-// lookup data, handed to query visitors under the shard read lock. Visitors
-// must not retain any of its slices past their return: Payload and Hist of
-// the chain's tail block keep growing after the lock is released.
+// lookup data. Views of sealed blocks (everything CollectRange returns in
+// its slice) are immutable and may be retained for the store's lifetime.
+// The live tail's view — delivered only through VisitRange's callback or
+// CollectRange's tail callback, under the shard read lock — must not be
+// retained past the callback: its Payload and Hist keep growing after the
+// lock is released.
 type BlockView struct {
 	// FirstT and Stride define the block's timestamps: point i lives at
 	// FirstT + i·Stride. Stride is 0 while the block holds a single point.
@@ -188,9 +191,6 @@ type BlockView struct {
 	// Values maps symbol index to reconstruction value under the epoch's
 	// table.
 	Values []float64
-	// ByteSums is the epoch table's per-payload-byte partial-sum LUT, nil
-	// unless Level is 1, 2 or 4.
-	ByteSums []float64
 }
 
 // LastT returns the timestamp of the view's last point.

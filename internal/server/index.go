@@ -97,6 +97,16 @@ func (ix *sealedIndex) visitRange(t0, t1 int64, fn func(BlockView)) {
 	}
 }
 
+// appendRange appends a view of every sealed block in the pruned [lo, hi)
+// range to dst, against the index's own table history.
+func (ix *sealedIndex) appendRange(t0, t1 int64, dst []BlockView) []BlockView {
+	lo, hi := ix.rangeBlocks(t0, t1)
+	for i := lo; i < hi; i++ {
+		dst = append(dst, viewOf(&ix.blocks[i], ix.tables))
+	}
+	return dst
+}
+
 // noTail is the tailFirstT sentinel while a meter has no live tail (or the
 // tail has no points yet): no timestamp can be ≥ it under a half-open range,
 // so every query may skip the tail.
@@ -169,6 +179,39 @@ func (m Meter) VisitRange(t0, t1 int64, fn func(BlockView)) {
 	idx.visitRange(t0, t1, fn)
 }
 
+// CollectRange is the batch counterpart of VisitRange, built for callers
+// that hand whole chains to batch kernels: views of every sealed block that
+// may hold points in [t0, t1) are appended to dst and returned, while the
+// live tail — whose payload keeps mutating and must be folded under the
+// shard read lock — is delivered through the tail callback (invoked at most
+// once, and only when the range can reach it).
+//
+// The returned sealed views MAY be retained and read after CollectRange
+// returns, for as long as the store lives: sealed blocks are immutable once
+// their index is published. The tail callback's view must not outlive the
+// callback, exactly as with VisitRange. Order is unspecified; dst is
+// extended in sealed-chain order after the tail callback fires.
+func (m Meter) CollectRange(t0, t1 int64, dst []BlockView, tail func(BlockView)) []BlockView {
+	if t0 >= t1 {
+		return dst
+	}
+	e := m.e
+	idx := e.idx.Load()
+	if t1 <= e.tailFirstT.Load() && e.idx.Load() == idx {
+		// Same double-load proof as VisitRange: the range cannot reach this
+		// generation's tail, sealed data answers it lock-free.
+		return idx.appendRange(t0, t1, dst)
+	}
+	m.sh.queryLocks.Add(1)
+	m.sh.mu.RLock()
+	idx = e.idx.Load()
+	if tl := e.tail(); tl != nil && tl.n > 0 && tl.firstT < t1 && tl.lastT() >= t0 {
+		tail(e.view(tl))
+	}
+	m.sh.mu.RUnlock()
+	return idx.appendRange(t0, t1, dst)
+}
+
 // publish swaps in a new sealed index after e's former tail (now
 // e.blocks[len(idx.blocks)]) was sealed. Caller holds the shard write lock.
 // Allocation-free when Reserve pre-sized the index arena and directory.
@@ -205,18 +248,17 @@ func (e *meterEntry) nextIndexSlot() *sealedIndex {
 func viewOf(b *block, tables []*symbolic.Table) BlockView {
 	table := tables[b.epoch]
 	return BlockView{
-		FirstT:   b.firstT,
-		Stride:   b.stride,
-		N:        int(b.n),
-		Level:    int(b.level),
-		Epoch:    int(b.epoch),
-		Payload:  b.payload,
-		Hist:     b.hist,
-		Sum:      b.sum,
-		MinV:     b.minV,
-		MaxV:     b.maxV,
-		Values:   table.ReconstructionValues(),
-		ByteSums: table.ByteSums(),
+		FirstT:  b.firstT,
+		Stride:  b.stride,
+		N:       int(b.n),
+		Level:   int(b.level),
+		Epoch:   int(b.epoch),
+		Payload: b.payload,
+		Hist:    b.hist,
+		Sum:     b.sum,
+		MinV:    b.minV,
+		MaxV:    b.maxV,
+		Values:  table.ReconstructionValues(),
 	}
 }
 

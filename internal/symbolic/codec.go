@@ -76,6 +76,15 @@ func AppendPack(dst []byte, symbols []Symbol) ([]byte, error) {
 		// 4-bit symbols per 32-bit store, unrolled, one fused level check
 		// per word. The <8-symbol remainder falls through to the general
 		// accumulator loop below at a byte-aligned position.
+		if usePackL4 && len(symbols) >= packL4Stride {
+			n := len(symbols) &^ (packL4Stride - 1)
+			if packL4Native(symbols[:n:n], payload[:n/2]) {
+				off, pos = n, n/2
+			}
+			// On a level mismatch the asm reports false and the scalar walk
+			// below re-runs from 0 to produce the positioned error; the
+			// garbage bytes it wrote are past base and truncated away.
+		}
 		for ; off+8 <= len(symbols); off += 8 {
 			s := symbols[off : off+8 : off+8]
 			if (s[0].level^4)|(s[1].level^4)|(s[2].level^4)|(s[3].level^4)|
@@ -166,6 +175,11 @@ func UnpackInto(dst []Symbol, data []byte) ([]Symbol, error) {
 		// Fast path mirroring AppendPack's: one 32-bit load yields eight
 		// 4-bit symbols; the remainder continues in the general loop at a
 		// byte-aligned position.
+		if useUnpackL4 && count >= 2*unpackL4Stride {
+			n := count / (2 * unpackL4Stride) * unpackL4Stride // whole payload bytes
+			unpackL4Native(payload[:n:n], dst[:2*n])
+			off, pos = 2*n, n
+		}
 		for ; off+8 <= count && pos+4 <= len(payload); off += 8 {
 			w := binary.BigEndian.Uint32(payload[pos:])
 			pos += 4

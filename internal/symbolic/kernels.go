@@ -193,6 +193,11 @@ func PackedRangeHistogram(hist []uint64, payload []byte, level, start, end int) 
 			end--
 		}
 		bs := payload[start>>1 : end>>1]
+		if useHistL4 && len(bs) >= histL4Stride {
+			n := len(bs) &^ (histL4Stride - 1)
+			histL4Native(bs[:n], &hist[0])
+			bs = bs[n:]
+		}
 		for len(bs) >= 8 {
 			w := binary.BigEndian.Uint64(bs)
 			hist[w>>60]++

@@ -1,0 +1,82 @@
+//go:build amd64 && !noasm
+
+package symbolic
+
+import "os"
+
+// AVX2 kernel entry points (kernels_amd64.s). All of them are pure integer
+// transforms over memory the wrapper has already bounds-checked; none touch
+// floats, allocate, or call back into Go, so they are declared noescape and
+// nosplit-safe.
+
+// histPackedL4AVX2 adds the nibble-value counts of p[0:n] into hist[0..15].
+// n must be a positive multiple of 32.
+//
+//go:noescape
+func histPackedL4AVX2(p *byte, n int, hist *uint64)
+
+// unpackPackedL4AVX2 expands p[0:n] into 2n level-4 Symbols at dst. n must
+// be a positive multiple of 4.
+//
+//go:noescape
+func unpackPackedL4AVX2(p *byte, n int, dst *Symbol)
+
+// packPackedL4AVX2 packs syms[0:n] into n/2 bytes at dst, returning 0 if any
+// symbol's level byte is not 4 (output bytes already written are garbage the
+// caller discards by re-walking scalar). n must be a positive multiple of 16.
+//
+//go:noescape
+func packPackedL4AVX2(syms *Symbol, n int, dst *byte) (ok uint64)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 reports CPU and OS support for the AVX2 kernels: AVX2 in the
+// feature leaf, and the OS saving YMM state (OSXSAVE plus XCR0 SSE|AVX).
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b&avx2 != 0
+}
+
+func init() {
+	// SYMMETER_NOASM is the runtime escape hatch mirroring the noasm build
+	// tag: operators can force the portable scalar kernels without a rebuild.
+	if !hasAVX2() || os.Getenv("SYMMETER_NOASM") != "" {
+		return
+	}
+	nativePath = "avx2"
+	enableNative = enableAVX2
+	enableAVX2()
+	activePath = "avx2"
+}
+
+func enableAVX2() {
+	histL4Stride, unpackL4Stride, packL4Stride = 32, 4, 16
+	useHistL4, useUnpackL4, usePackL4 = true, true, true
+}
+
+// The native wrappers stay direct (and inlinable) so the //go:noescape
+// annotations on the assembly declarations reach the callers' escape
+// analysis — see the dispatch-design note in kernels_dispatch.go.
+
+func histL4Native(bs []byte, hist *uint64)   { histPackedL4AVX2(&bs[0], len(bs), hist) }
+func unpackL4Native(bs []byte, dst []Symbol) { unpackPackedL4AVX2(&bs[0], len(bs), &dst[0]) }
+func packL4Native(syms []Symbol, dst []byte) bool {
+	return packPackedL4AVX2(&syms[0], len(syms), &dst[0]) != 0
+}

@@ -1,0 +1,409 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 kernels for the level-4 (k=16, the paper's headline alphabet) packed
+// payload layout: two symbols per byte, first symbol in the high nibble.
+// All three kernels are pure integer transforms — float aggregates are
+// derived from their results in Go — so dispatch-path bit-exactness reduces
+// to these producing the same integers as the scalar loops, which the
+// differential fuzz enforces.
+
+// nibbleEq is 16 rows of 32 identical bytes: row s is VPCMPEQB's memory
+// operand when counting symbol value s.
+DATA nibbleEq<>+0x000(SB)/8, $0x0000000000000000
+DATA nibbleEq<>+0x008(SB)/8, $0x0000000000000000
+DATA nibbleEq<>+0x010(SB)/8, $0x0000000000000000
+DATA nibbleEq<>+0x018(SB)/8, $0x0000000000000000
+DATA nibbleEq<>+0x020(SB)/8, $0x0101010101010101
+DATA nibbleEq<>+0x028(SB)/8, $0x0101010101010101
+DATA nibbleEq<>+0x030(SB)/8, $0x0101010101010101
+DATA nibbleEq<>+0x038(SB)/8, $0x0101010101010101
+DATA nibbleEq<>+0x040(SB)/8, $0x0202020202020202
+DATA nibbleEq<>+0x048(SB)/8, $0x0202020202020202
+DATA nibbleEq<>+0x050(SB)/8, $0x0202020202020202
+DATA nibbleEq<>+0x058(SB)/8, $0x0202020202020202
+DATA nibbleEq<>+0x060(SB)/8, $0x0303030303030303
+DATA nibbleEq<>+0x068(SB)/8, $0x0303030303030303
+DATA nibbleEq<>+0x070(SB)/8, $0x0303030303030303
+DATA nibbleEq<>+0x078(SB)/8, $0x0303030303030303
+DATA nibbleEq<>+0x080(SB)/8, $0x0404040404040404
+DATA nibbleEq<>+0x088(SB)/8, $0x0404040404040404
+DATA nibbleEq<>+0x090(SB)/8, $0x0404040404040404
+DATA nibbleEq<>+0x098(SB)/8, $0x0404040404040404
+DATA nibbleEq<>+0x0a0(SB)/8, $0x0505050505050505
+DATA nibbleEq<>+0x0a8(SB)/8, $0x0505050505050505
+DATA nibbleEq<>+0x0b0(SB)/8, $0x0505050505050505
+DATA nibbleEq<>+0x0b8(SB)/8, $0x0505050505050505
+DATA nibbleEq<>+0x0c0(SB)/8, $0x0606060606060606
+DATA nibbleEq<>+0x0c8(SB)/8, $0x0606060606060606
+DATA nibbleEq<>+0x0d0(SB)/8, $0x0606060606060606
+DATA nibbleEq<>+0x0d8(SB)/8, $0x0606060606060606
+DATA nibbleEq<>+0x0e0(SB)/8, $0x0707070707070707
+DATA nibbleEq<>+0x0e8(SB)/8, $0x0707070707070707
+DATA nibbleEq<>+0x0f0(SB)/8, $0x0707070707070707
+DATA nibbleEq<>+0x0f8(SB)/8, $0x0707070707070707
+DATA nibbleEq<>+0x100(SB)/8, $0x0808080808080808
+DATA nibbleEq<>+0x108(SB)/8, $0x0808080808080808
+DATA nibbleEq<>+0x110(SB)/8, $0x0808080808080808
+DATA nibbleEq<>+0x118(SB)/8, $0x0808080808080808
+DATA nibbleEq<>+0x120(SB)/8, $0x0909090909090909
+DATA nibbleEq<>+0x128(SB)/8, $0x0909090909090909
+DATA nibbleEq<>+0x130(SB)/8, $0x0909090909090909
+DATA nibbleEq<>+0x138(SB)/8, $0x0909090909090909
+DATA nibbleEq<>+0x140(SB)/8, $0x0a0a0a0a0a0a0a0a
+DATA nibbleEq<>+0x148(SB)/8, $0x0a0a0a0a0a0a0a0a
+DATA nibbleEq<>+0x150(SB)/8, $0x0a0a0a0a0a0a0a0a
+DATA nibbleEq<>+0x158(SB)/8, $0x0a0a0a0a0a0a0a0a
+DATA nibbleEq<>+0x160(SB)/8, $0x0b0b0b0b0b0b0b0b
+DATA nibbleEq<>+0x168(SB)/8, $0x0b0b0b0b0b0b0b0b
+DATA nibbleEq<>+0x170(SB)/8, $0x0b0b0b0b0b0b0b0b
+DATA nibbleEq<>+0x178(SB)/8, $0x0b0b0b0b0b0b0b0b
+DATA nibbleEq<>+0x180(SB)/8, $0x0c0c0c0c0c0c0c0c
+DATA nibbleEq<>+0x188(SB)/8, $0x0c0c0c0c0c0c0c0c
+DATA nibbleEq<>+0x190(SB)/8, $0x0c0c0c0c0c0c0c0c
+DATA nibbleEq<>+0x198(SB)/8, $0x0c0c0c0c0c0c0c0c
+DATA nibbleEq<>+0x1a0(SB)/8, $0x0d0d0d0d0d0d0d0d
+DATA nibbleEq<>+0x1a8(SB)/8, $0x0d0d0d0d0d0d0d0d
+DATA nibbleEq<>+0x1b0(SB)/8, $0x0d0d0d0d0d0d0d0d
+DATA nibbleEq<>+0x1b8(SB)/8, $0x0d0d0d0d0d0d0d0d
+DATA nibbleEq<>+0x1c0(SB)/8, $0x0e0e0e0e0e0e0e0e
+DATA nibbleEq<>+0x1c8(SB)/8, $0x0e0e0e0e0e0e0e0e
+DATA nibbleEq<>+0x1d0(SB)/8, $0x0e0e0e0e0e0e0e0e
+DATA nibbleEq<>+0x1d8(SB)/8, $0x0e0e0e0e0e0e0e0e
+DATA nibbleEq<>+0x1e0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleEq<>+0x1e8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleEq<>+0x1f0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleEq<>+0x1f8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleEq<>(SB), RODATA|NOPTR, $512
+
+// loNibbleMask is 0x0F in every byte lane.
+DATA loNibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA loNibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA loNibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA loNibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL loNibbleMask<>(SB), RODATA|NOPTR, $32
+
+// level4Qword is the qword image of a level-4 Symbol with index 0:
+// index:uint32(0) | level:uint8(4) at byte 4.
+DATA level4Qword<>+0(SB)/8, $0x0000000400000000
+GLOBL level4Qword<>(SB), RODATA|NOPTR, $8
+
+// qwordLoNibble is 0x0F in every qword lane's low byte.
+DATA qwordLoNibble<>+0(SB)/8, $0x000000000000000f
+GLOBL qwordLoNibble<>(SB), RODATA|NOPTR, $8
+
+// dword4 / dwordFF are VPCMPEQD/VPAND operands for the pack level check.
+DATA dword4<>+0(SB)/4, $0x00000004
+GLOBL dword4<>(SB), RODATA|NOPTR, $4
+DATA dwordFF<>+0(SB)/4, $0x000000ff
+GLOBL dwordFF<>(SB), RODATA|NOPTR, $4
+
+// packMul16 weights even dwords (first symbol of each output byte) by 16.
+DATA packMul16<>+0(SB)/8, $0x0000000100000010
+DATA packMul16<>+8(SB)/8, $0x0000000100000010
+DATA packMul16<>+16(SB)/8, $0x0000000100000010
+DATA packMul16<>+24(SB)/8, $0x0000000100000010
+GLOBL packMul16<>(SB), RODATA|NOPTR, $32
+
+// packGather collects each dword's low byte into the lane's first 4 bytes.
+DATA packGather<>+0(SB)/8, $0x808080800c080400
+DATA packGather<>+8(SB)/8, $0x8080808080808080
+DATA packGather<>+16(SB)/8, $0x808080800c080400
+DATA packGather<>+24(SB)/8, $0x8080808080808080
+GLOBL packGather<>(SB), RODATA|NOPTR, $32
+
+// packPerm interleaves the two lanes' gathered dwords: out = [l0.d0, l1.d0].
+DATA packPerm<>+0(SB)/8, $0x0000000400000000
+DATA packPerm<>+8(SB)/8, $0x0000000000000000
+DATA packPerm<>+16(SB)/8, $0x0000000000000000
+DATA packPerm<>+24(SB)/8, $0x0000000000000000
+GLOBL packPerm<>(SB), RODATA|NOPTR, $32
+
+// func histPackedL4AVX2(p *byte, n int, hist *uint64)
+//
+// Adds the count of every nibble value of p[0:n] into hist[0..15]. Two
+// passes over the data (symbols 0–7, then 8–15), each keeping 8 per-symbol
+// byte-lane accumulators: per 32-byte chunk, VPCMPEQB against an in-memory
+// broadcast of the symbol value turns matches into -1 byte lanes and VPSUBB
+// accumulates them. Lanes are flushed through VPSADBW into the uint64 bins
+// every 120 chunks (each chunk adds at most 2 per lane, so 120 stays clear
+// of the 255 ceiling). n must be a positive multiple of 32.
+TEXT ·histPackedL4AVX2(SB), NOSPLIT, $0-24
+	MOVQ p+0(FP), R8
+	MOVQ n+8(FP), R9
+	MOVQ hist+16(FP), DI
+	VMOVDQU loNibbleMask<>(SB), Y11
+	LEAQ nibbleEq<>(SB), R10
+	XORQ R12, R12 // pass: 0 counts symbols 0-7, 1 counts 8-15
+
+pass:
+	MOVQ R12, AX
+	SHLQ $8, AX
+	LEAQ (R10)(AX*1), DX // this pass's 8 rows of nibbleEq
+	MOVQ R12, AX
+	SHLQ $6, AX
+	LEAQ (DI)(AX*1), R13 // this pass's 8 hist bins
+	MOVQ R8, SI
+	MOVQ R9, CX
+
+group:
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+	MOVQ CX, BX
+	SHRQ $5, BX
+	CMPQ BX, $120
+	JBE  sized
+	MOVQ $120, BX
+
+sized:
+	MOVQ BX, AX
+	SHLQ $5, AX
+	SUBQ AX, CX
+
+chunk:
+	VMOVDQU (SI), Y8
+	VPSRLW $4, Y8, Y9
+	VPAND Y11, Y8, Y8 // low nibbles (second symbol of each byte)
+	VPAND Y11, Y9, Y9 // high nibbles (first symbol)
+	VPCMPEQB (DX), Y8, Y10
+	VPSUBB Y10, Y0, Y0
+	VPCMPEQB (DX), Y9, Y10
+	VPSUBB Y10, Y0, Y0
+	VPCMPEQB 32(DX), Y8, Y10
+	VPSUBB Y10, Y1, Y1
+	VPCMPEQB 32(DX), Y9, Y10
+	VPSUBB Y10, Y1, Y1
+	VPCMPEQB 64(DX), Y8, Y10
+	VPSUBB Y10, Y2, Y2
+	VPCMPEQB 64(DX), Y9, Y10
+	VPSUBB Y10, Y2, Y2
+	VPCMPEQB 96(DX), Y8, Y10
+	VPSUBB Y10, Y3, Y3
+	VPCMPEQB 96(DX), Y9, Y10
+	VPSUBB Y10, Y3, Y3
+	VPCMPEQB 128(DX), Y8, Y10
+	VPSUBB Y10, Y4, Y4
+	VPCMPEQB 128(DX), Y9, Y10
+	VPSUBB Y10, Y4, Y4
+	VPCMPEQB 160(DX), Y8, Y10
+	VPSUBB Y10, Y5, Y5
+	VPCMPEQB 160(DX), Y9, Y10
+	VPSUBB Y10, Y5, Y5
+	VPCMPEQB 192(DX), Y8, Y10
+	VPSUBB Y10, Y6, Y6
+	VPCMPEQB 192(DX), Y9, Y10
+	VPSUBB Y10, Y6, Y6
+	VPCMPEQB 224(DX), Y8, Y10
+	VPSUBB Y10, Y7, Y7
+	VPCMPEQB 224(DX), Y9, Y10
+	VPSUBB Y10, Y7, Y7
+	ADDQ $32, SI
+	DECQ BX
+	JNZ  chunk
+
+	// Flush the 8 byte-lane accumulators into the uint64 bins.
+	VPXOR Y12, Y12, Y12
+	VPSADBW Y12, Y0, Y0
+	VEXTRACTI128 $1, Y0, X10
+	VPADDQ X10, X0, X0
+	VPSRLDQ $8, X0, X10
+	VPADDQ X10, X0, X0
+	VMOVQ X0, AX
+	ADDQ AX, 0(R13)
+	VPSADBW Y12, Y1, Y1
+	VEXTRACTI128 $1, Y1, X10
+	VPADDQ X10, X1, X1
+	VPSRLDQ $8, X1, X10
+	VPADDQ X10, X1, X1
+	VMOVQ X1, AX
+	ADDQ AX, 8(R13)
+	VPSADBW Y12, Y2, Y2
+	VEXTRACTI128 $1, Y2, X10
+	VPADDQ X10, X2, X2
+	VPSRLDQ $8, X2, X10
+	VPADDQ X10, X2, X2
+	VMOVQ X2, AX
+	ADDQ AX, 16(R13)
+	VPSADBW Y12, Y3, Y3
+	VEXTRACTI128 $1, Y3, X10
+	VPADDQ X10, X3, X3
+	VPSRLDQ $8, X3, X10
+	VPADDQ X10, X3, X3
+	VMOVQ X3, AX
+	ADDQ AX, 24(R13)
+	VPSADBW Y12, Y4, Y4
+	VEXTRACTI128 $1, Y4, X10
+	VPADDQ X10, X4, X4
+	VPSRLDQ $8, X4, X10
+	VPADDQ X10, X4, X4
+	VMOVQ X4, AX
+	ADDQ AX, 32(R13)
+	VPSADBW Y12, Y5, Y5
+	VEXTRACTI128 $1, Y5, X10
+	VPADDQ X10, X5, X5
+	VPSRLDQ $8, X5, X10
+	VPADDQ X10, X5, X5
+	VMOVQ X5, AX
+	ADDQ AX, 40(R13)
+	VPSADBW Y12, Y6, Y6
+	VEXTRACTI128 $1, Y6, X10
+	VPADDQ X10, X6, X6
+	VPSRLDQ $8, X6, X10
+	VPADDQ X10, X6, X6
+	VMOVQ X6, AX
+	ADDQ AX, 48(R13)
+	VPSADBW Y12, Y7, Y7
+	VEXTRACTI128 $1, Y7, X10
+	VPADDQ X10, X7, X7
+	VPSRLDQ $8, X7, X10
+	VPADDQ X10, X7, X7
+	VMOVQ X7, AX
+	ADDQ AX, 56(R13)
+
+	TESTQ CX, CX
+	JNZ   group
+
+	INCQ R12
+	CMPQ R12, $2
+	JNE  pass
+	VZEROUPPER
+	RET
+
+// func unpackPackedL4AVX2(p *byte, n int, dst *Symbol)
+//
+// Expands p[0:n] into 2n level-4 Symbols at dst: 4 payload bytes become 4
+// zero-extended qwords (VPMOVZXBQ), the nibble halves are split, interleaved
+// back into stream order (high nibble first), and OR'd with the level-4
+// Symbol image. n must be a positive multiple of 4.
+TEXT ·unpackPackedL4AVX2(SB), NOSPLIT, $0-24
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ dst+16(FP), DI
+	VPBROADCASTQ level4Qword<>(SB), Y11
+	VPBROADCASTQ qwordLoNibble<>(SB), Y12
+
+unpackLoop:
+	VPMOVZXBQ (SI), Y0
+	VPSRLQ $4, Y0, Y1 // high nibbles: first symbol of each byte
+	VPAND Y12, Y0, Y2 // low nibbles: second symbol
+	VPUNPCKLQDQ Y2, Y1, Y3 // [h0 l0 | h2 l2]
+	VPUNPCKHQDQ Y2, Y1, Y4 // [h1 l1 | h3 l3]
+	VPERM2I128 $0x20, Y4, Y3, Y5 // [h0 l0 h1 l1]
+	VPERM2I128 $0x31, Y4, Y3, Y6 // [h2 l2 h3 l3]
+	VPOR Y11, Y5, Y5
+	VPOR Y11, Y6, Y6
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y6, 32(DI)
+	ADDQ $4, SI
+	ADDQ $64, DI
+	SUBQ $4, CX
+	JNZ  unpackLoop
+	VZEROUPPER
+	RET
+
+// func packPackedL4AVX2(syms *Symbol, n int, dst *byte) (ok uint64)
+//
+// Packs syms[0:n] (8-byte Symbol structs) into n/2 payload bytes at dst.
+// Per 16 symbols: the four 32-byte loads are compacted to their index dwords
+// (VPSHUFD+VPERMQ), arranged so one VPMULLD-by-[16,1] plus VPHADDD fuses
+// nibble pairs into output-byte dwords already in stream order, then
+// VPSHUFB+VPERMD squeeze them into 8 bytes. Level bytes are accumulated
+// through VPCMPEQD; any symbol whose level is not 4 makes ok 0 (the written
+// output is then garbage the caller discards). n must be a positive
+// multiple of 16.
+TEXT ·packPackedL4AVX2(SB), NOSPLIT, $0-32
+	MOVQ syms+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ dst+16(FP), DI
+	VPBROADCASTD dword4<>(SB), Y14
+	VPBROADCASTD dwordFF<>(SB), Y13
+	VMOVDQU packMul16<>(SB), Y12
+	VMOVDQU packGather<>(SB), Y11
+	VPCMPEQB Y15, Y15, Y15 // validity accumulator, all-ones = valid
+
+packLoop:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+
+	// Level check: dwords 1,3 of each qword pair hold level|padding; mask
+	// to the level byte and require 4.
+	VPSHUFD $0xdd, Y0, Y10
+	VPAND Y13, Y10, Y10
+	VPCMPEQD Y14, Y10, Y10
+	VPAND Y10, Y15, Y15
+	VPSHUFD $0xdd, Y1, Y10
+	VPAND Y13, Y10, Y10
+	VPCMPEQD Y14, Y10, Y10
+	VPAND Y10, Y15, Y15
+	VPSHUFD $0xdd, Y2, Y10
+	VPAND Y13, Y10, Y10
+	VPCMPEQD Y14, Y10, Y10
+	VPAND Y10, Y15, Y15
+	VPSHUFD $0xdd, Y3, Y10
+	VPAND Y13, Y10, Y10
+	VPCMPEQD Y14, Y10, Y10
+	VPAND Y10, Y15, Y15
+
+	// Compact each load to its 4 index dwords in the low 128 bits.
+	VPSHUFD $0x88, Y0, Y4
+	VPERMQ $0x08, Y4, Y4
+	VPSHUFD $0x88, Y1, Y5
+	VPERMQ $0x08, Y5, Y5
+	VPSHUFD $0x88, Y2, Y6
+	VPERMQ $0x08, Y6, Y6
+	VPSHUFD $0x88, Y3, Y7
+	VPERMQ $0x08, Y7, Y7
+
+	// s1 = indices 0-3 | 8-11, s2 = indices 4-7 | 12-15: this interleave is
+	// exactly what makes VPHADDD's lane-wise pair sums come out in stream
+	// order.
+	VINSERTI128 $1, X6, Y4, Y8
+	VINSERTI128 $1, X7, Y5, Y9
+	VPMULLD Y12, Y8, Y8
+	VPMULLD Y12, Y9, Y9
+	VPHADDD Y9, Y8, Y8 // output bytes 0-3 | 4-7, one per dword
+	VPSHUFB Y11, Y8, Y8 // each lane: its 4 bytes packed into dword 0
+	VMOVDQU packPerm<>(SB), Y10
+	VPERMD Y8, Y10, Y8 // dword 0 = lane-0 bytes, dword 1 = lane-1 bytes
+	VMOVQ X8, (DI)
+
+	ADDQ $128, SI
+	ADDQ $8, DI
+	SUBQ $16, CX
+	JNZ  packLoop
+
+	VPMOVMSKB Y15, AX
+	XORQ BX, BX
+	CMPL AX, $-1
+	SETEQ BL
+	MOVQ BX, ok+24(FP)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,47 @@
+//go:build arm64 && !noasm
+
+package symbolic
+
+import "os"
+
+// NEON kernel entry points (kernels_arm64.s). ASIMD is architecturally
+// baseline on arm64, so unlike amd64 there is no feature probe — only the
+// SYMMETER_NOASM escape hatch. The pack kernel stays scalar on arm64: its
+// scalar fast path is already word-at-a-time, and the NEON surface is kept
+// to the two kernels that dominate query and cold-read profiles.
+
+// histPackedL4NEON adds the nibble-value counts of p[0:n] into hist[0..15].
+// n must be a positive multiple of 16.
+//
+//go:noescape
+func histPackedL4NEON(p *byte, n int, hist *uint64)
+
+// unpackPackedL4NEON expands p[0:n] into 2n level-4 Symbols at dst. n must
+// be a positive multiple of 8.
+//
+//go:noescape
+func unpackPackedL4NEON(p *byte, n int, dst *Symbol)
+
+func init() {
+	// SYMMETER_NOASM is the runtime escape hatch mirroring the noasm build
+	// tag: operators can force the portable scalar kernels without a rebuild.
+	if os.Getenv("SYMMETER_NOASM") != "" {
+		return
+	}
+	nativePath = "neon"
+	enableNative = enableNEON
+	enableNEON()
+	activePath = "neon"
+}
+
+func enableNEON() {
+	histL4Stride, unpackL4Stride, packL4Stride = 16, 8, 1
+	useHistL4, useUnpackL4, usePackL4 = true, true, false
+}
+
+func histL4Native(bs []byte, hist *uint64)   { histPackedL4NEON(&bs[0], len(bs), hist) }
+func unpackL4Native(bs []byte, dst []Symbol) { unpackPackedL4NEON(&bs[0], len(bs), &dst[0]) }
+
+// packL4Native is never reached on arm64 (usePackL4 stays false: the scalar
+// word-at-a-time pack path is kept; see the package comment above).
+func packL4Native([]Symbol, []byte) bool { panic("symbolic: packL4Native without native pack path") }

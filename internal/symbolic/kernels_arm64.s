@@ -1,0 +1,204 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON kernels for the level-4 packed payload layout (two symbols per byte,
+// first symbol in the high nibble). Like the AVX2 kernels these are pure
+// integer transforms; float aggregates are derived from their results in Go,
+// which is what keeps dispatch paths bit-exact.
+
+// func histPackedL4NEON(p *byte, n int, hist *uint64)
+//
+// Two passes over p[0:n] (symbols 0-7, then 8-15), each keeping 8 per-symbol
+// byte-lane accumulators V0-V7: per 16-byte chunk, VCMEQ against a
+// broadcast of the symbol value turns matches into -1 lanes and VSUB
+// accumulates them. Lanes flush through VUADDLV into the uint64 bins every
+// 120 chunks (each chunk adds at most 2 per lane; 240 < 255). n must be a
+// positive multiple of 16.
+TEXT ·histPackedL4NEON(SB), NOSPLIT, $0-24
+	MOVD p+0(FP), R8
+	MOVD n+8(FP), R9
+	MOVD hist+16(FP), R10
+	MOVD $0x0f, R11
+	VDUP R11, V28.B16 // low-nibble mask
+	MOVD $0, R12      // pass: 0 counts symbols 0-7, 1 counts 8-15
+
+pass:
+	// Broadcast this pass's 8 symbol values into V8-V15.
+	LSL  $3, R12, R13 // first symbol value of the pass
+	VDUP R13, V8.B16
+	ADD  $1, R13
+	VDUP R13, V9.B16
+	ADD  $1, R13
+	VDUP R13, V10.B16
+	ADD  $1, R13
+	VDUP R13, V11.B16
+	ADD  $1, R13
+	VDUP R13, V12.B16
+	ADD  $1, R13
+	VDUP R13, V13.B16
+	ADD  $1, R13
+	VDUP R13, V14.B16
+	ADD  $1, R13
+	VDUP R13, V15.B16
+	LSL  $6, R12, R13
+	ADD  R13, R10, R14 // this pass's 8 hist bins
+	MOVD R8, R0
+	MOVD R9, R1
+
+group:
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	LSR  $4, R1, R2 // chunks left
+	MOVD $120, R3
+	CMP  R3, R2
+	CSEL LT, R2, R3, R2 // chunks this group = min(chunks left, 120)
+	LSL  $4, R2, R3
+	SUB  R3, R1, R1
+
+chunk:
+	VLD1.P 16(R0), [V16.B16]
+	VUSHR $4, V16.B16, V17.B16 // high nibbles: first symbol of each byte
+	VAND V28.B16, V16.B16, V16.B16 // low nibbles: second symbol
+	VCMEQ V8.B16, V16.B16, V18.B16
+	VSUB V18.B16, V0.B16, V0.B16
+	VCMEQ V8.B16, V17.B16, V18.B16
+	VSUB V18.B16, V0.B16, V0.B16
+	VCMEQ V9.B16, V16.B16, V18.B16
+	VSUB V18.B16, V1.B16, V1.B16
+	VCMEQ V9.B16, V17.B16, V18.B16
+	VSUB V18.B16, V1.B16, V1.B16
+	VCMEQ V10.B16, V16.B16, V18.B16
+	VSUB V18.B16, V2.B16, V2.B16
+	VCMEQ V10.B16, V17.B16, V18.B16
+	VSUB V18.B16, V2.B16, V2.B16
+	VCMEQ V11.B16, V16.B16, V18.B16
+	VSUB V18.B16, V3.B16, V3.B16
+	VCMEQ V11.B16, V17.B16, V18.B16
+	VSUB V18.B16, V3.B16, V3.B16
+	VCMEQ V12.B16, V16.B16, V18.B16
+	VSUB V18.B16, V4.B16, V4.B16
+	VCMEQ V12.B16, V17.B16, V18.B16
+	VSUB V18.B16, V4.B16, V4.B16
+	VCMEQ V13.B16, V16.B16, V18.B16
+	VSUB V18.B16, V5.B16, V5.B16
+	VCMEQ V13.B16, V17.B16, V18.B16
+	VSUB V18.B16, V5.B16, V5.B16
+	VCMEQ V14.B16, V16.B16, V18.B16
+	VSUB V18.B16, V6.B16, V6.B16
+	VCMEQ V14.B16, V17.B16, V18.B16
+	VSUB V18.B16, V6.B16, V6.B16
+	VCMEQ V15.B16, V16.B16, V18.B16
+	VSUB V18.B16, V7.B16, V7.B16
+	VCMEQ V15.B16, V17.B16, V18.B16
+	VSUB V18.B16, V7.B16, V7.B16
+	SUB  $1, R2, R2
+	CBNZ R2, chunk
+
+	// Flush the 8 byte-lane accumulators into the uint64 bins.
+	VUADDLV V0.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 0(R14), R4
+	ADD  R3, R4
+	MOVD R4, 0(R14)
+	VUADDLV V1.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 8(R14), R4
+	ADD  R3, R4
+	MOVD R4, 8(R14)
+	VUADDLV V2.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 16(R14), R4
+	ADD  R3, R4
+	MOVD R4, 16(R14)
+	VUADDLV V3.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 24(R14), R4
+	ADD  R3, R4
+	MOVD R4, 24(R14)
+	VUADDLV V4.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 32(R14), R4
+	ADD  R3, R4
+	MOVD R4, 32(R14)
+	VUADDLV V5.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 40(R14), R4
+	ADD  R3, R4
+	MOVD R4, 40(R14)
+	VUADDLV V6.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 48(R14), R4
+	ADD  R3, R4
+	MOVD R4, 48(R14)
+	VUADDLV V7.B16, V19
+	VMOV V19.D[0], R3
+	MOVD 56(R14), R4
+	ADD  R3, R4
+	MOVD R4, 56(R14)
+
+	CBNZ R1, group
+
+	ADD  $1, R12
+	CMP  $2, R12
+	BNE  pass
+	RET
+
+// func unpackPackedL4NEON(p *byte, n int, dst *Symbol)
+//
+// Expands p[0:n] into 2n level-4 Symbols at dst. Per 8 payload bytes: split
+// nibbles, VZIP1/VZIP2 interleave them back into stream order (high nibble
+// first), widen bytes to qwords through the VUSHLL ladder, OR in the level-4
+// Symbol image, store 16 Symbols. n must be a positive multiple of 8.
+TEXT ·unpackPackedL4NEON(SB), NOSPLIT, $0-24
+	MOVD p+0(FP), R8
+	MOVD n+8(FP), R9
+	MOVD dst+16(FP), R10
+	MOVD $0x0f, R11
+	VDUP R11, V28.B16 // low-nibble mask
+	MOVD $0x400000000, R11
+	VDUP R11, V30.D2  // level-4 Symbol image: index 0, level byte 4
+
+unpackLoop:
+	MOVD.P 8(R8), R12
+	VMOV R12, V0.D[0]
+	VUSHR $4, V0.B8, V1.B8 // high nibbles
+	VAND V28.B8, V0.B8, V0.B8 // low nibbles
+	VZIP1 V0.B8, V1.B8, V2.B8 // [h0 l0 .. h3 l3]: symbols 0-7
+	VZIP2 V0.B8, V1.B8, V3.B8 // symbols 8-15
+
+	VUSHLL $0, V2.B8, V4.H8
+	VUSHLL $0, V4.H4, V5.S4
+	VUSHLL2 $0, V4.H8, V6.S4
+	VUSHLL $0, V5.S2, V16.D2
+	VUSHLL2 $0, V5.S4, V17.D2
+	VUSHLL $0, V6.S2, V18.D2
+	VUSHLL2 $0, V6.S4, V19.D2
+	VORR V30.B16, V16.B16, V16.B16
+	VORR V30.B16, V17.B16, V17.B16
+	VORR V30.B16, V18.B16, V18.B16
+	VORR V30.B16, V19.B16, V19.B16
+	VST1.P [V16.B16, V17.B16, V18.B16, V19.B16], 64(R10)
+
+	VUSHLL $0, V3.B8, V4.H8
+	VUSHLL $0, V4.H4, V5.S4
+	VUSHLL2 $0, V4.H8, V6.S4
+	VUSHLL $0, V5.S2, V16.D2
+	VUSHLL2 $0, V5.S4, V17.D2
+	VUSHLL $0, V6.S2, V18.D2
+	VUSHLL2 $0, V6.S4, V19.D2
+	VORR V30.B16, V16.B16, V16.B16
+	VORR V30.B16, V17.B16, V17.B16
+	VORR V30.B16, V18.B16, V18.B16
+	VORR V30.B16, V19.B16, V19.B16
+	VST1.P [V16.B16, V17.B16, V18.B16, V19.B16], 64(R10)
+
+	SUBS $8, R9, R9
+	BNE  unpackLoop
+	RET

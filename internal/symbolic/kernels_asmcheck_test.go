@@ -1,0 +1,65 @@
+package symbolic
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAssemblyReferenced cross-references every assembly file against its
+// architecture's Go declarations, in both directions: a TEXT symbol with no
+// Go declaration is dead weight that would bit-rot silently (the linker only
+// complains in the opposite direction), and a body-less Go declaration with
+// no TEXT symbol is a link error waiting for that arch's build. The check is
+// purely textual, so it runs — and guards both architectures — regardless of
+// the host GOARCH.
+func TestAssemblyReferenced(t *testing.T) {
+	textRE := regexp.MustCompile(`(?m)^TEXT ·([A-Za-z0-9_]+)\(SB\)`)
+	// A declaration line: "func name(...)" with a result list or nothing at
+	// the end, but no opening brace — an assembly-backed prototype.
+	declRE := regexp.MustCompile(`(?m)^func ([A-Za-z0-9_]+)\([^{\n]*$`)
+
+	asmFiles, err := filepath.Glob("*.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asmFiles) == 0 {
+		t.Skip("no assembly files in package")
+	}
+	for _, asmFile := range asmFiles {
+		arch := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(asmFile), "kernels_"), ".s")
+		goFile := "kernels_" + arch + ".go"
+		asmSrc, err := os.ReadFile(asmFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goSrc, err := os.ReadFile(goFile)
+		if err != nil {
+			t.Fatalf("%s has no companion %s: %v", asmFile, goFile, err)
+		}
+
+		texts := map[string]bool{}
+		for _, m := range textRE.FindAllStringSubmatch(string(asmSrc), -1) {
+			texts[m[1]] = true
+		}
+		decls := map[string]bool{}
+		for _, m := range declRE.FindAllStringSubmatch(string(goSrc), -1) {
+			decls[m[1]] = true
+		}
+		if len(texts) == 0 {
+			t.Errorf("%s defines no TEXT symbols", asmFile)
+		}
+		for name := range texts {
+			if !decls[name] {
+				t.Errorf("%s: TEXT ·%s has no declaration in %s — unreferenced assembly", asmFile, name, goFile)
+			}
+		}
+		for name := range decls {
+			if !texts[name] {
+				t.Errorf("%s: func %s declared without body but %s has no TEXT ·%s", goFile, name, asmFile, name)
+			}
+		}
+	}
+}

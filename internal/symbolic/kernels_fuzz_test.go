@@ -1,0 +1,95 @@
+package symbolic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"symmeter/internal/symbolic"
+)
+
+// FuzzKernelsSIMDvsScalar differentially fuzzes every native dispatch path
+// (AVX2 on amd64, NEON on arm64) against the portable scalar kernels: for an
+// arbitrary level-4 payload and range, the histogram bins must be bit-equal,
+// and the codec fast paths must produce byte-identical packed output and
+// symbol-identical unpacked output. On builds with no native path (noasm tag,
+// or a CPU without the required features) the loop body never runs and the
+// target degenerates to a scalar smoke test — that is intentional, so the CI
+// fuzz smoke can run unconditionally.
+func FuzzKernelsSIMDvsScalar(f *testing.F) {
+	f.Add([]byte{}, uint16(0), uint16(0))
+	f.Add([]byte{0xAB}, uint16(0), uint16(2))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78}, uint16(1), uint16(7))
+	f.Add(bytes.Repeat([]byte{0xF0}, 33), uint16(3), uint16(61))
+	// Past the AVX2 histogram kernel's 120-chunk accumulator flush
+	// (120 chunks × 32 bytes = 3840 payload bytes).
+	f.Add(bytes.Repeat([]byte{0x9C, 0x27}, 2000), uint16(5), uint16(7995))
+	f.Fuzz(func(t *testing.T, payload []byte, s, e uint16) {
+		paths := symbolic.KernelPaths()
+		prev := symbolic.KernelPath()
+		defer func() {
+			if err := symbolic.SetKernelPath(prev); err != nil {
+				t.Fatal(err)
+			}
+		}()
+
+		n := 2 * len(payload) // level-4 symbols in payload
+		start, end := int(s), int(e)
+		if n == 0 {
+			start, end = 0, 0
+		} else {
+			start %= n
+			end %= n + 1
+		}
+		if start > end {
+			start, end = end, start
+		}
+
+		// Scalar reference pass.
+		if err := symbolic.SetKernelPath("scalar"); err != nil {
+			t.Fatal(err)
+		}
+		wantHist := make([]uint64, 16)
+		symbolic.PackedRangeHistogram(wantHist, payload, 4, start, end)
+		syms := make([]symbolic.Symbol, n)
+		for i := range syms {
+			syms[i] = symbolic.NewSymbol(int(payload[i/2]>>(4*(1-uint(i)%2)))&0xF, 4)
+		}
+		wantPacked, err := symbolic.Pack(syms)
+		if err != nil {
+			t.Fatalf("scalar Pack: %v", err)
+		}
+		wantSyms, err := symbolic.Unpack(wantPacked)
+		if err != nil {
+			t.Fatalf("scalar Unpack: %v", err)
+		}
+
+		for _, path := range paths[1:] {
+			if err := symbolic.SetKernelPath(path); err != nil {
+				t.Fatal(err)
+			}
+			hist := make([]uint64, 16)
+			symbolic.PackedRangeHistogram(hist, payload, 4, start, end)
+			for bin := range hist {
+				if hist[bin] != wantHist[bin] {
+					t.Fatalf("%s hist[%d] = %d, scalar %d (n=%d range [%d,%d))", path, bin, hist[bin], wantHist[bin], n, start, end)
+				}
+			}
+			packed, err := symbolic.Pack(syms)
+			if err != nil {
+				t.Fatalf("%s Pack: %v", path, err)
+			}
+			if !bytes.Equal(packed, wantPacked) {
+				t.Fatalf("%s packed bytes diverge from scalar (n=%d)", path, n)
+			}
+			got, err := symbolic.Unpack(packed)
+			if err != nil {
+				t.Fatalf("%s Unpack: %v", path, err)
+			}
+			for i := range got {
+				if got[i] != wantSyms[i] {
+					t.Fatalf("%s unpacked symbol %d = %v, scalar %v", path, i, got[i], wantSyms[i])
+				}
+			}
+		}
+	})
+}

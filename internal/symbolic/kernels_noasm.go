@@ -1,0 +1,13 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package symbolic
+
+// Scalar-only builds: the noasm tag, or an architecture without an assembly
+// tier. The use* booleans stay false forever, so these stubs are never
+// reached — they exist only to satisfy the hook sites' references.
+
+func histL4Native([]byte, *uint64)    { panic("symbolic: histL4Native in scalar-only build") }
+func unpackL4Native([]byte, []Symbol) { panic("symbolic: unpackL4Native in scalar-only build") }
+func packL4Native([]Symbol, []byte) bool {
+	panic("symbolic: packL4Native in scalar-only build")
+}

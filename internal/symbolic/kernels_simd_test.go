@@ -1,0 +1,298 @@
+package symbolic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// restoreKernelPath registers cleanup back to the currently active dispatch
+// path. Tests in this package never run in parallel, so flipping the
+// package-global dispatch is race-free.
+func restoreKernelPath(t testing.TB) {
+	t.Helper()
+	prev := KernelPath()
+	t.Cleanup(func() {
+		if err := SetKernelPath(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func mustSetKernelPath(t testing.TB, path string) {
+	t.Helper()
+	if err := SetKernelPath(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelPathControls pins the dispatch control surface: scalar first in
+// KernelPaths, round-tripping through SetKernelPath, and a typed error for
+// unknown paths.
+func TestKernelPathControls(t *testing.T) {
+	paths := KernelPaths()
+	if len(paths) == 0 || paths[0] != "scalar" {
+		t.Fatalf("KernelPaths() = %v, want scalar first", paths)
+	}
+	active := KernelPath()
+	found := false
+	for _, p := range paths {
+		if p == active {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active path %q not among supported %v", active, paths)
+	}
+	if err := SetKernelPath("mmx"); err == nil {
+		t.Fatal("SetKernelPath accepted a bogus path")
+	}
+	restoreKernelPath(t)
+	for _, p := range paths {
+		if err := SetKernelPath(p); err != nil {
+			t.Fatalf("SetKernelPath(%q): %v", p, err)
+		}
+		if got := KernelPath(); got != p {
+			t.Fatalf("KernelPath() = %q after SetKernelPath(%q)", got, p)
+		}
+	}
+}
+
+// edgeOffsets returns a boundary-straddling set of positions for a stream of
+// n level-bit symbols: around sampled byte, 32-bit-word and 64-bit-word
+// boundaries of the payload (leading, middle and trailing multiples), in
+// symbol units, plus the extremes.
+func edgeOffsets(n, level int) []int {
+	set := map[int]bool{0: true, 1: true, n - 1: true, n: true}
+	for _, bits := range []int{8, 32, 64} {
+		last := n * level / bits
+		for _, mult := range []int{1, 2, 3, last / 2, last - 1, last} {
+			if mult < 1 {
+				continue
+			}
+			// Symbol positions whose bit offset straddles the boundary.
+			p := mult * bits / level
+			for _, q := range []int{p - 1, p, p + 1} {
+				if q >= 0 && q <= n {
+					set[q] = true
+				}
+			}
+		}
+	}
+	offs := make([]int, 0, len(set))
+	for p := range set {
+		offs = append(offs, p)
+	}
+	return offs
+}
+
+// TestPackedRangeKernelsEdgeMatrix runs every PackedRange* kernel at every
+// level 1–30 over ranges whose ends straddle byte and word boundaries,
+// including empty ranges, against naive per-symbol oracles. Above level 12
+// symbol indices are confined to the low 4096 so the oracle tables stay
+// allocatable; the kernels only ever touch bins/values for indices that are
+// actually present.
+func TestPackedRangeKernelsEdgeMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for level := 1; level <= MaxLevel; level++ {
+		maxIdx := 1 << uint(level)
+		if maxIdx > 1<<12 {
+			maxIdx = 1 << 12
+		}
+		n := 400 + 3*level // not aligned to anything
+		payload := make([]byte, (n*level+7)/8)
+		idxs := make([]uint32, n)
+		for i := range idxs {
+			idxs[i] = uint32(rng.Intn(maxIdx))
+			PackSymbolAt(payload, level, i, idxs[i])
+		}
+		values := make([]float64, maxIdx)
+		for i := range values {
+			values[i] = rng.Float64()*100 - 50
+		}
+		offs := edgeOffsets(n, level)
+		hist := make([]uint64, maxIdx)
+		want := make([]uint64, maxIdx)
+		for _, start := range offs {
+			for _, end := range offs {
+				if start > end {
+					continue
+				}
+				clear(hist)
+				PackedRangeHistogram(hist, payload, level, start, end)
+				clear(want)
+				for _, idx := range idxs[start:end] {
+					want[idx]++
+				}
+				for s := range want {
+					if hist[s] != want[s] {
+						t.Fatalf("level %d [%d,%d): hist[%d] = %d, want %d", level, start, end, s, hist[s], want[s])
+					}
+				}
+				if start >= end {
+					continue // PackedRangeAggregate requires a non-empty range
+				}
+				sum, minV, maxV := PackedRangeAggregate(values, payload, level, start, end)
+				var wantSum float64
+				wantMin, wantMax := math.Inf(1), math.Inf(-1)
+				for _, idx := range idxs[start:end] {
+					v := values[idx]
+					wantSum += v
+					wantMin = math.Min(wantMin, v)
+					wantMax = math.Max(wantMax, v)
+				}
+				if minV != wantMin || maxV != wantMax {
+					t.Fatalf("level %d [%d,%d): min/max = %v/%v, want %v/%v", level, start, end, minV, maxV, wantMin, wantMax)
+				}
+				if math.Abs(sum-wantSum) > 1e-9*(1+math.Abs(wantSum)) {
+					t.Fatalf("level %d [%d,%d): sum = %v, want %v", level, start, end, sum, wantSum)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsSIMDvsScalarDeterministic drives the native dispatch path
+// against the scalar oracle on sizes crossing every stride and accumulator
+// flush boundary, requiring bit-exact histograms and identical codec bytes.
+// Skipped (vacuously passing) on scalar-only builds.
+func TestKernelsSIMDvsScalarDeterministic(t *testing.T) {
+	paths := KernelPaths()
+	if len(paths) < 2 {
+		t.Skip("no native kernel path on this build/CPU")
+	}
+	native := paths[1]
+	restoreKernelPath(t)
+	rng := rand.New(rand.NewSource(37))
+	// Byte sizes around the asm strides (32 for AVX2 hist, 16/4/8 for the
+	// others) and past the 120-chunk accumulator flush of the histogram
+	// kernels (120·32 = 3840 bytes).
+	sizes := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 256, 511, 512, 513, 3839, 3840, 3841, 4096, 8000}
+	for _, nbytes := range sizes {
+		payload := make([]byte, nbytes)
+		rng.Read(payload)
+		n := 2 * nbytes // level-4 symbols
+		starts := []int{0, 1, 2, 3}
+		for _, start := range starts {
+			if start > n {
+				continue
+			}
+			for _, end := range []int{n, n - 1, n - 3, start} {
+				if end < start {
+					continue
+				}
+				histScalar := make([]uint64, 16)
+				histNative := make([]uint64, 16)
+				mustSetKernelPath(t, "scalar")
+				PackedRangeHistogram(histScalar, payload, 4, start, end)
+				mustSetKernelPath(t, native)
+				PackedRangeHistogram(histNative, payload, 4, start, end)
+				for s := range histScalar {
+					if histScalar[s] != histNative[s] {
+						t.Fatalf("n=%d [%d,%d): hist[%d] scalar %d != %s %d", nbytes, start, end, s, histScalar[s], native, histNative[s])
+					}
+				}
+			}
+		}
+		// Codec round trip: pack under each path must produce identical bytes,
+		// unpack identical symbols.
+		syms := make([]Symbol, n)
+		for i := range syms {
+			syms[i] = NewSymbol(int(payload[i/2]>>(4*(1-uint(i)%2)))&0xF, 4)
+		}
+		mustSetKernelPath(t, "scalar")
+		packedScalar, err := Pack(syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpackedScalar, err := Unpack(packedScalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSetKernelPath(t, native)
+		packedNative, err := Pack(syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpackedNative, err := Unpack(packedNative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(packedScalar) != string(packedNative) {
+			t.Fatalf("n=%d: packed bytes differ between scalar and %s", n, native)
+		}
+		for i := range unpackedScalar {
+			if unpackedScalar[i] != unpackedNative[i] {
+				t.Fatalf("n=%d: unpacked symbol %d differs: %v vs %v", n, i, unpackedScalar[i], unpackedNative[i])
+			}
+		}
+	}
+}
+
+// TestPackNativeMixedLevelError pins the native pack path's error contract:
+// a level mismatch anywhere — including deep inside an asm-handled prefix —
+// must produce the same positioned error as the scalar walk and leave dst's
+// original bytes intact.
+func TestPackNativeMixedLevelError(t *testing.T) {
+	restoreKernelPath(t)
+	for _, path := range KernelPaths() {
+		mustSetKernelPath(t, path)
+		// bad=0 would change the whole sequence's level (the first symbol
+		// defines it), so start at 1.
+		for _, bad := range []int{1, 15, 16, 17, 40, 63} {
+			syms := make([]Symbol, 64)
+			for i := range syms {
+				syms[i] = NewSymbol(i%16, 4)
+			}
+			syms[bad] = NewSymbol(1, 5)
+			dst := []byte{0xAA, 0xBB}
+			got, err := AppendPack(dst, syms)
+			if err == nil {
+				t.Fatalf("path %s bad=%d: no error for mixed levels", path, bad)
+			}
+			want := fmt.Sprintf("symbol %d has level 5", bad)
+			if !contains(err.Error(), want) {
+				t.Fatalf("path %s bad=%d: error %q does not name the symbol (%q)", path, bad, err, want)
+			}
+			if len(got) != 2 || got[0] != 0xAA || got[1] != 0xBB {
+				t.Fatalf("path %s bad=%d: dst not restored: %v", path, bad, got)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKernelsZeroAllocNative re-pins the zero-allocation contract on the
+// native dispatch path (TestKernelsZeroAlloc covers whatever path is active
+// by default; this one forces each available path in turn).
+func TestKernelsZeroAllocNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	payload := make([]byte, 512)
+	rng.Read(payload)
+	values := make([]float64, 16)
+	spans := []PackedSpan{{Payload: payload, Start: 3, End: 509}, {Payload: payload, Start: 0, End: 1024}}
+	var hist [16]uint64
+	restoreKernelPath(t)
+	for _, path := range KernelPaths() {
+		mustSetKernelPath(t, path)
+		allocs := testing.AllocsPerRun(100, func() {
+			PackedRangeHistogram(hist[:], payload, 4, 3, 1021)
+			PackedRangeHistogramBatch(hist[:], 4, spans)
+			if c, _, _, _ := HistogramAggregate(hist[:], values); c == 0 {
+				t.Fatal("empty aggregate")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("path %s: kernels allocate %.1f times per run, want 0", path, allocs)
+		}
+	}
+}
