@@ -78,6 +78,8 @@ func run(args []string, out io.Writer) (err error) {
 		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
 		queryAddr  = fs.String("query-addr", "", "additional query-only listen address (queries are always served on -addr too)")
 		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "reap connections silent past this; 0 disables")
+		writeTO    = fs.Duration("write-timeout", 0, "fail server response writes blocked past this (0 = 30s default, negative disables)")
+		budget     = fs.Int64("ingest-budget", 0, "per-shard in-flight ingest byte budget; over-budget batches get a typed retryable refusal (0 = unlimited)")
 		queryConc  = fs.Int("query-conc", 0, "max concurrently executing queries per connection (0 = default)")
 		dataDir    = fs.String("data-dir", "", "durable storage directory (WAL + segments); empty = in-memory only")
 		fsyncMode  = fs.String("fsync", "group", "WAL durability with -data-dir: off, group or always")
@@ -141,6 +143,8 @@ func run(args []string, out io.Writer) (err error) {
 		ReservePoints:    fleetCfg.ExpectedPointsPerMeter(),
 		Store:            recovered,
 		IdleTimeout:      *idleTO,
+		WriteTimeout:     *writeTO,
+		IngestBudget:     *budget,
 		QueryConcurrency: *queryConc,
 	})
 	if eng != nil {
@@ -289,6 +293,7 @@ func run(args []string, out io.Writer) (err error) {
 	st := svc.Stats()
 	fmt.Fprintf(out, "wire: %d bytes in (tables + symbols + framing); raw would be %d bytes\n",
 		st.BytesIn, symbolic.RawSize(rep.Sent))
+	printRobustness(out, st)
 	if eng != nil {
 		printHealth(out, eng, st.DegradedSessions)
 		// All queries above are done; flushing finishes the open segments
@@ -327,15 +332,29 @@ func printHealth(out io.Writer, eng *storage.Engine, degradedSessions int64) {
 		h.ManifestRetries, h.ManifestFailures, h.Probes, h.Heals, degradedSessions)
 }
 
-// shutdown is the signal path: give in-flight sessions a moment to finish
-// reading what their peers already sent, then cut connections and flush the
-// storage engine. A flush failure is the one thing that must exit non-zero —
-// it means acknowledged data may need the WAL replayed on the next start.
+// printRobustness reports the ingest-robustness counters — the operator's
+// view of how hard the admission and exactly-once machinery worked: typed
+// overload/drain refusals, sequenced reconnect replays, duplicates the
+// sequence numbers suppressed, and slow consumers the write deadline reaped.
+func printRobustness(out io.Writer, st server.Stats) {
+	fmt.Fprintf(out, "robustness: %d sequenced sessions, %d reconnect replays, %d duplicate batches suppressed, %d overload refusals, %d drain refusals, %d write-deadline reaps\n",
+		st.SequencedSessions, st.ReconnectReplays, st.DuplicateBatches,
+		st.OverloadRefusals, st.DrainRefusals, st.WriteDeadlineReaps)
+}
+
+// shutdown is the signal path: stop admitting sessions (new ingest and query
+// connections get the typed retryable VerdictDraining, so clients back off
+// and redial elsewhere), give in-flight sessions a moment to finish reading
+// what their peers already sent, then cut connections and flush the storage
+// engine. A flush failure is the one thing that must exit non-zero — it
+// means acknowledged data may need the WAL replayed on the next start.
 func shutdown(svc *server.Service, eng *storage.Engine, out io.Writer) error {
+	svc.BeginDrain()
 	st := svc.Stats()
 	if !svc.AwaitSessions(st.Sessions, 5*time.Second) {
 		fmt.Fprintln(out, "warning: sessions still active after drain timeout; closing them")
 	}
+	printRobustness(out, svc.Stats())
 	svc.Close()
 	if eng != nil {
 		printHealth(out, eng, svc.Stats().DegradedSessions)

@@ -203,7 +203,7 @@ func TestShutdownFlushes(t *testing.T) {
 		t.Fatalf("shutdown: %v\n%s", err, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"storage flushed cleanly", "shutdown complete"} {
+	for _, want := range []string{"robustness:", "storage flushed cleanly", "shutdown complete"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("shutdown output missing %q:\n%s", want, got)
 		}

@@ -1,0 +1,482 @@
+// Package netfault injects scripted connection faults — the network twin of
+// internal/faultfs. It wraps net.Conn, net.Listener and a dialer behind one
+// Injector whose fault schedule scripts every failure class the ingest and
+// query paths must survive:
+//
+//	Reset      connection reset (SO_LINGER 0 where possible, so the peer
+//	           sees a genuine RST, not a FIN) — mid-frame when combined
+//	           with AfterBytes
+//	ShortWrite half the buffer hits the wire, then the connection resets:
+//	           a torn frame for the peer's decoder
+//	BlackHole  bytes vanish: writes report success but never arrive, reads
+//	           swallow data until the deadline fires — the wedged-NAT shape
+//	           that only read/write deadlines can unwedge
+//	Delay      latency injection before the operation proceeds
+//	Error      the operation fails with a scripted error but the
+//	           connection survives (accept-loop transient, EINTR-ish)
+//
+// Matching mirrors faultfs: a fault applies to operations of its Op and
+// fires on its N'th match (1-based; 0 means 1) and — when Sticky — on every
+// match after that. AfterBytes switches a fault to byte-count triggering:
+// it fires on the operation that crosses the cumulative byte threshold in
+// that direction, splitting writes exactly at the boundary so a frame tears
+// at a scripted byte offset. Counters (per-op totals, bytes each way,
+// resets) let tests assert the schedule actually exercised the wire.
+//
+// A BlackHole that fires latches the struck connection's direction: once a
+// path eats bytes it stays dark for that connection's lifetime (the
+// half-dead-path shape), while a fresh dial gets a clean path unless the
+// fault is Sticky.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Op selects which connection operation a fault applies to.
+type Op int
+
+const (
+	OpAccept Op = iota
+	OpRead
+	OpWrite
+
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAccept:
+		return "accept"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Action is what a firing fault does to the operation.
+type Action int
+
+const (
+	// Reset fails the operation with ErrReset and closes the underlying
+	// connection with SO_LINGER 0 when it is TCP, so the peer sees an RST.
+	// On OpAccept the connection is accepted, reset and still returned —
+	// the server meets a corpse, not an accept error.
+	Reset Action = iota
+	// ShortWrite writes half the buffer (or up to the AfterBytes boundary),
+	// then resets: the peer is left holding a torn frame. Read and accept
+	// faults with this action behave like Reset.
+	ShortWrite
+	// BlackHole swallows the direction: writes report full success without
+	// delivering, reads discard arriving bytes and block until the
+	// connection's deadline or close. The struck direction stays dark for
+	// that connection's lifetime.
+	BlackHole
+	// Delay sleeps the fault's Delay, then lets the operation proceed.
+	Delay
+	// Error fails the operation with Err (default ErrInjected) and leaves
+	// the connection open — on OpAccept, the transient accept-loop shape.
+	Error
+)
+
+func (a Action) String() string {
+	switch a {
+	case Reset:
+		return "reset"
+	case ShortWrite:
+		return "shortwrite"
+	case BlackHole:
+		return "blackhole"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Injected error sentinels.
+var (
+	// ErrReset is the error a Reset or ShortWrite fault reports to the
+	// struck side.
+	ErrReset = errors.New("netfault: connection reset by schedule")
+	// ErrInjected is the default error for Action Error faults.
+	ErrInjected = errors.New("netfault: injected error")
+)
+
+// Fault is one scripted network failure. Matching: the fault applies to
+// operations of its Op. With AfterBytes zero it fires on its N'th match
+// (1-based; 0 means 1) and, when Sticky, on every match after that. With
+// AfterBytes > 0 it instead fires on the first matching operation once the
+// Injector's cumulative byte count in that direction reaches the threshold;
+// a write that crosses the boundary is split so exactly AfterBytes total
+// bytes pass before the action applies.
+type Fault struct {
+	Op         Op
+	N          int
+	AfterBytes int64
+	Action     Action
+	Delay      time.Duration
+	Err        error
+	Sticky     bool
+
+	hits  int  // matches so far (under Injector.mu)
+	spent bool // byte-triggered faults fire once unless Sticky
+}
+
+func (f *Fault) want() int {
+	if f.N <= 0 {
+		return 1
+	}
+	return f.N
+}
+
+// Injector owns a fault schedule and the counters shared by every
+// connection it wraps. The zero value is unusable; use New.
+type Injector struct {
+	mu     sync.Mutex
+	faults []*Fault
+	counts [opCount]int64
+
+	bytesRead    int64
+	bytesWritten int64
+	resets       int64
+	dials        int64
+	conns        int64
+}
+
+// New builds an Injector armed with the given schedule.
+func New(faults ...Fault) *Injector {
+	inj := &Injector{}
+	inj.SetFaults(faults...)
+	return inj
+}
+
+// SetFaults replaces the schedule (arming a dying network mid-test,
+// disarming it to model recovery). Counters are preserved.
+func (inj *Injector) SetFaults(faults ...Fault) {
+	fs := make([]*Fault, len(faults))
+	for i := range faults {
+		f := faults[i]
+		fs[i] = &f
+	}
+	inj.mu.Lock()
+	inj.faults = fs
+	inj.mu.Unlock()
+}
+
+// Counts returns the number of operations seen per Op (including ones a
+// fault failed).
+func (inj *Injector) Counts(op Op) int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.counts[op]
+}
+
+// BytesRead returns the cumulative bytes delivered to readers (including
+// bytes a black hole swallowed).
+func (inj *Injector) BytesRead() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.bytesRead
+}
+
+// BytesWritten returns the cumulative bytes accepted from writers
+// (including bytes a black hole swallowed).
+func (inj *Injector) BytesWritten() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.bytesWritten
+}
+
+// Resets returns how many connections the schedule has reset.
+func (inj *Injector) Resets() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.resets
+}
+
+// Dials returns how many connections were opened through Dial.
+func (inj *Injector) Dials() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.dials
+}
+
+// Remaining reports how many scheduled faults have not fired yet — tests
+// assert zero to prove the schedule actually exercised the wire.
+func (inj *Injector) Remaining() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	n := 0
+	for _, f := range inj.faults {
+		if f.AfterBytes > 0 {
+			if !f.spent {
+				n++
+			}
+		} else if f.hits < f.want() {
+			n++
+		}
+	}
+	return n
+}
+
+// check counts the operation and reports the fault that fires on it, if
+// any, plus how many payload bytes pass through before the action applies
+// (only ever non-zero for byte-triggered writes).
+func (inj *Injector) check(op Op, n int) (*Fault, int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.counts[op]++
+	var done int64
+	switch op {
+	case OpRead:
+		done = inj.bytesRead
+	case OpWrite:
+		done = inj.bytesWritten
+	}
+	for _, f := range inj.faults {
+		if f.Op != op {
+			continue
+		}
+		if f.AfterBytes > 0 {
+			if f.spent && !f.Sticky {
+				continue
+			}
+			crossed := done >= f.AfterBytes
+			if op == OpWrite {
+				crossed = done+int64(n) >= f.AfterBytes
+			}
+			if !crossed {
+				continue
+			}
+			f.spent = true
+			prefix := 0
+			if op == OpWrite && f.AfterBytes > done {
+				prefix = int(f.AfterBytes - done)
+				if prefix > n {
+					prefix = n
+				}
+			}
+			return f, prefix
+		}
+		f.hits++
+		if f.hits == f.want() || (f.Sticky && f.hits > f.want()) {
+			return f, 0
+		}
+	}
+	return nil, 0
+}
+
+func (inj *Injector) addRead(n int) {
+	inj.mu.Lock()
+	inj.bytesRead += int64(n)
+	inj.mu.Unlock()
+}
+
+func (inj *Injector) addWritten(n int) {
+	inj.mu.Lock()
+	inj.bytesWritten += int64(n)
+	inj.mu.Unlock()
+}
+
+func (inj *Injector) addReset() {
+	inj.mu.Lock()
+	inj.resets++
+	inj.mu.Unlock()
+}
+
+// Dial opens a TCP connection through the injector.
+func (inj *Injector) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	inj.mu.Lock()
+	inj.dials++
+	inj.mu.Unlock()
+	return inj.Conn(c), nil
+}
+
+// Conn wraps an established connection so its reads and writes route
+// through the schedule.
+func (inj *Injector) Conn(c net.Conn) net.Conn {
+	inj.mu.Lock()
+	inj.conns++
+	inj.mu.Unlock()
+	return &conn{Conn: c, inj: inj}
+}
+
+// Listener wraps ln so accepts — and every accepted connection — route
+// through the schedule.
+func (inj *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	f, _ := l.inj.check(OpAccept, 0)
+	if f != nil {
+		switch f.Action {
+		case Delay:
+			time.Sleep(f.Delay)
+		case Error:
+			err := f.Err
+			if err == nil {
+				err = ErrInjected
+			}
+			return nil, err
+		default: // Reset, ShortWrite, BlackHole: accept a corpse
+			c, err := l.Listener.Accept()
+			if err != nil {
+				return nil, err
+			}
+			resetConn(c)
+			l.inj.addReset()
+			return l.inj.Conn(c), nil
+		}
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}
+
+// resetConn closes c so the peer sees an RST where the transport allows it.
+func resetConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+type conn struct {
+	net.Conn
+	inj *Injector
+
+	mu        sync.Mutex
+	blackRead bool
+	blackWrit bool
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dark := c.blackRead
+	c.mu.Unlock()
+	if dark {
+		return c.swallowReads()
+	}
+	f, _ := c.inj.check(OpRead, 0)
+	if f != nil {
+		switch f.Action {
+		case Delay:
+			time.Sleep(f.Delay)
+		case Error:
+			err := f.Err
+			if err == nil {
+				err = ErrInjected
+			}
+			return 0, err
+		case BlackHole:
+			c.mu.Lock()
+			c.blackRead = true
+			c.mu.Unlock()
+			return c.swallowReads()
+		default: // Reset, ShortWrite
+			resetConn(c.Conn)
+			c.inj.addReset()
+			return 0, ErrReset
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.inj.addRead(n)
+	return n, err
+}
+
+// swallowReads discards arriving bytes until the connection's read deadline
+// fires or the peer goes away — the caller sees only that terminal error,
+// never data.
+func (c *conn) swallowReads() (int, error) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.Conn.Read(buf)
+		c.inj.addRead(n)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dark := c.blackWrit
+	c.mu.Unlock()
+	if dark {
+		c.inj.addWritten(len(p))
+		return len(p), nil
+	}
+	f, prefix := c.inj.check(OpWrite, len(p))
+	if f == nil {
+		n, err := c.Conn.Write(p)
+		c.inj.addWritten(n)
+		return n, err
+	}
+	switch f.Action {
+	case Delay:
+		time.Sleep(f.Delay)
+		n, err := c.Conn.Write(p)
+		c.inj.addWritten(n)
+		return n, err
+	case Error:
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return 0, err
+	case BlackHole:
+		n := 0
+		if prefix > 0 {
+			var err error
+			n, err = c.Conn.Write(p[:prefix])
+			c.inj.addWritten(n)
+			if err != nil {
+				return n, err
+			}
+		}
+		c.mu.Lock()
+		c.blackWrit = true
+		c.mu.Unlock()
+		c.inj.addWritten(len(p) - n)
+		return len(p), nil
+	case ShortWrite:
+		cut := prefix
+		if cut == 0 {
+			cut = len(p) / 2
+		}
+		n, _ := c.Conn.Write(p[:cut])
+		c.inj.addWritten(n)
+		resetConn(c.Conn)
+		c.inj.addReset()
+		return n, fmt.Errorf("netfault: short write (%d of %d bytes): %w", n, len(p), ErrReset)
+	default: // Reset
+		n := 0
+		if prefix > 0 {
+			n, _ = c.Conn.Write(p[:prefix])
+			c.inj.addWritten(n)
+		}
+		resetConn(c.Conn)
+		c.inj.addReset()
+		return n, ErrReset
+	}
+}

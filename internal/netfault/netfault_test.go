@@ -1,0 +1,279 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped client conn dialed through inj to a TCP echo-less
+// server whose raw accepted conn is handed back for the test to drive.
+func pair(t *testing.T, inj *Injector) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err = inj.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server = <-accepted
+	t.Cleanup(func() { server.Close() })
+	return client, server
+}
+
+func TestResetAfterBytesTearsMidBuffer(t *testing.T) {
+	inj := New(Fault{Op: OpWrite, AfterBytes: 10, Action: Reset})
+	client, server := pair(t, inj)
+
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	n, err := client.Write(msg)
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before reset, want exactly 10", n)
+	}
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+
+	// The peer sees exactly the 10 bytes that made it, then an error.
+	got := make([]byte, 64)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	rn, _ := io.ReadFull(server, got[:10])
+	if rn != 10 {
+		t.Fatalf("peer read %d bytes, want 10", rn)
+	}
+	if _, err := server.Read(got); err == nil {
+		t.Fatal("peer read after reset succeeded, want error")
+	}
+	if inj.Resets() != 1 {
+		t.Fatalf("Resets() = %d, want 1", inj.Resets())
+	}
+	if inj.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d, want 0", inj.Remaining())
+	}
+}
+
+func TestShortWriteDeliversHalf(t *testing.T) {
+	inj := New(Fault{Op: OpWrite, N: 2, Action: ShortWrite})
+	client, server := pair(t, inj)
+
+	if _, err := client.Write([]byte("abcdefgh")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := client.Write([]byte("ijklmnop"))
+	if n != 4 {
+		t.Fatalf("short write delivered %d bytes, want 4", n)
+	}
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset family", err)
+	}
+	// The peer holds the first frame plus the torn half, then the reset.
+	got := make([]byte, 12)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil || string(got) != "abcdefghijkl" {
+		t.Fatalf("peer got %q (%v), want torn prefix \"abcdefghijkl\"", got, err)
+	}
+	if _, err := server.Read(got); err == nil {
+		t.Fatal("peer read past the reset succeeded")
+	}
+}
+
+func TestBlackHoleWriteSwallowsForever(t *testing.T) {
+	inj := New(Fault{Op: OpWrite, N: 2, Action: BlackHole})
+	client, server := pair(t, inj)
+
+	if _, err := client.Write([]byte("visible!")); err != nil {
+		t.Fatal(err)
+	}
+	// Second and every later write vanish but report success.
+	for i := 0; i < 3; i++ {
+		n, err := client.Write([]byte("darkness"))
+		if n != 8 || err != nil {
+			t.Fatalf("black-holed write = (%d, %v), want (8, nil)", n, err)
+		}
+	}
+	got := make([]byte, 8)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil || string(got) != "visible!" {
+		t.Fatalf("peer got %q (%v), want \"visible!\"", got[:], err)
+	}
+	server.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := server.Read(got); err == nil {
+		t.Fatalf("peer read %d swallowed bytes, want deadline error", n)
+	}
+	if inj.BytesWritten() != 8+3*8 {
+		t.Fatalf("BytesWritten() = %d, want %d", inj.BytesWritten(), 8+3*8)
+	}
+}
+
+func TestBlackHoleReadHonorsDeadline(t *testing.T) {
+	inj := New(Fault{Op: OpRead, N: 1, Action: BlackHole})
+	client, server := pair(t, inj)
+
+	if _, err := server.Write([]byte("lost ack")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 8)
+	start := time.Now()
+	_, err := client.Read(buf)
+	if err == nil {
+		t.Fatal("black-holed read returned data")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("black-holed read returned before the deadline")
+	}
+	// The direction stays dark: a second read also times out even though
+	// bytes are queued.
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := client.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("second read = %v, want deadline exceeded", err)
+	}
+}
+
+func TestDelayInjectsLatencyThenDelivers(t *testing.T) {
+	inj := New(Fault{Op: OpWrite, N: 1, Action: Delay, Delay: 80 * time.Millisecond})
+	client, server := pair(t, inj)
+
+	start := time.Now()
+	if _, err := client.Write([]byte("slowpoke")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 60ms of injected latency", d)
+	}
+	got := make([]byte, 8)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil || string(got) != "slowpoke" {
+		t.Fatalf("peer got %q (%v)", got, err)
+	}
+}
+
+func TestAcceptErrorIsTransient(t *testing.T) {
+	inj := New(Fault{Op: OpAccept, N: 1, Action: Error})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	ln := inj.Listener(base)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := net.Dial("tcp", base.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	if _, err := ln.Accept(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first accept = %v, want ErrInjected", err)
+	}
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("second accept = %v, want success", err)
+	}
+	c.Close()
+	<-done
+	if inj.Counts(OpAccept) != 2 {
+		t.Fatalf("Counts(OpAccept) = %d, want 2", inj.Counts(OpAccept))
+	}
+}
+
+func TestAcceptResetHandsServerACorpse(t *testing.T) {
+	inj := New(Fault{Op: OpAccept, N: 1, Action: Reset})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	ln := inj.Listener(base)
+
+	go func() {
+		c, err := net.Dial("tcp", base.Addr().String())
+		if err == nil {
+			defer c.Close()
+			buf := make([]byte, 1)
+			c.SetReadDeadline(time.Now().Add(2 * time.Second))
+			c.Read(buf)
+		}
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept = %v, want a (reset) conn", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read from reset-at-accept conn succeeded")
+	}
+	if inj.Resets() != 1 {
+		t.Fatalf("Resets() = %d, want 1", inj.Resets())
+	}
+}
+
+func TestStickyFaultKeepsFiring(t *testing.T) {
+	inj := New(Fault{Op: OpWrite, N: 2, Action: Error, Sticky: true})
+	client, _ := pair(t, inj)
+
+	if _, err := client.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Write([]byte("no")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d = %v, want ErrInjected", i+2, err)
+		}
+	}
+}
+
+func TestCountersTrackBothDirections(t *testing.T) {
+	inj := New()
+	client, server := pair(t, inj)
+
+	if _, err := client.Write([]byte("ping!")); err != nil {
+		t.Fatal(err)
+	}
+	// Reads only count through wrapped conns; the raw server side doesn't.
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(server, buf)
+		server.Write([]byte("pong?"))
+	}()
+	buf := make([]byte, 5)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if inj.BytesWritten() != 5 {
+		t.Fatalf("BytesWritten() = %d, want 5", inj.BytesWritten())
+	}
+	if inj.BytesRead() != 5 {
+		t.Fatalf("BytesRead() = %d, want 5", inj.BytesRead())
+	}
+	if inj.Dials() != 1 {
+		t.Fatalf("Dials() = %d, want 1", inj.Dials())
+	}
+	if inj.Counts(OpWrite) < 1 || inj.Counts(OpRead) < 1 {
+		t.Fatal("op counts not tracked")
+	}
+}

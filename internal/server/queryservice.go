@@ -33,14 +33,32 @@ func (s *Service) runQuerySession(conn net.Conn, br *bufio.Reader) error {
 		writeErr atomic.Value // first conn.Write error, type error
 	)
 	respond := func(frame []byte) {
+		// The write deadline (via writeFrame) is what reaps a peer that
+		// pipelines requests but stops reading responses: once the socket
+		// buffers fill, the write blocks, the deadline fires, and the
+		// session tears down instead of wedging a worker forever.
 		writeMu.Lock()
-		_, err := conn.Write(frame)
+		err := s.writeFrame(conn, frame)
 		writeMu.Unlock()
 		if err != nil {
 			// Keep only the first failure; later writes fail for the same
 			// reason and would race to overwrite it.
 			writeErr.CompareAndSwap(nil, err)
 		}
+	}
+
+	if s.draining.Load() {
+		// Graceful drain: a new query session gets a typed, retryable
+		// refusal addressed to its first request instead of a bare close.
+		s.drainRefusals.Add(1)
+		fr := transport.NewFrameReader(br)
+		typ, payload, err := fr.Next()
+		if err != nil || typ != transport.FrameQuery {
+			return nil
+		}
+		req, _ := transport.DecodeQueryRequest(payload) // best-effort id extraction
+		respond(transport.AppendQueryErrorFrame(nil, req.ID, transport.VerdictDraining, ErrDraining.Error()))
+		return nil
 	}
 
 	jobs := make(chan transport.QueryRequest)

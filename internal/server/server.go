@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +42,26 @@ type Config struct {
 	// backpressure), so one greedy reader cannot fan out unbounded work
 	// against the store.
 	QueryConcurrency int
+	// IngestBudget, when positive, is the per-shard admission-control bound
+	// in estimated batch bytes: an ingest batch whose cost would push its
+	// shard's in-flight total past the budget is refused with ErrOverloaded
+	// (VerdictOverloaded on the wire) — typed, retryable backpressure
+	// instead of unbounded memory growth under a flood. A batch arriving at
+	// an idle shard is always admitted, so a single batch larger than the
+	// whole budget cannot starve forever. 0 disables the gate.
+	IngestBudget int64
+	// WriteTimeout bounds every server→client response write (acks, query
+	// results, verdicts). A peer that stops reading — half-dead connection,
+	// black-holed path — would otherwise wedge the writing goroutine
+	// forever once the socket buffer fills; with the deadline the write
+	// fails, the session tears down, and WriteDeadlineReaps counts it.
+	// 0 picks a default of 30s; negative disables.
+	WriteTimeout time.Duration
 }
+
+// defaultWriteTimeout is the response-write deadline when the config leaves
+// WriteTimeout zero.
+const defaultWriteTimeout = 30 * time.Second
 
 // defaultQueryConcurrency is the per-connection in-flight query bound when
 // the config leaves QueryConcurrency zero.
@@ -57,6 +77,20 @@ type Ingest interface {
 	PushTable(meterID uint64, t *symbolic.Table) error
 	Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
 	Reserve(meterID uint64, n int) error
+}
+
+// SequencedIngest extends Ingest with the exactly-once batch contract a
+// sequenced (FlagSequenced) session drives. Sequence numbers are dense and
+// per-meter: seq == LastSeq+1 commits and advances the high-water mark,
+// seq <= LastSeq is a duplicate from a retransmit after a lost ack —
+// suppressed without writing, dup=true, still acked — and anything further
+// ahead is ErrSeqGap. Both *Store (in-memory mark) and the storage engine
+// (mark persisted through the WAL, restored by recovery) implement it.
+type SequencedIngest interface {
+	Ingest
+	LastSeq(meterID uint64) uint64
+	PushTableSeq(meterID uint64, seq uint64, t *symbolic.Table) (dup bool, err error)
+	AppendSeq(meterID uint64, seq uint64, pts []symbolic.SymbolPoint) (n int, dup bool, err error)
 }
 
 // QueryHandler executes one decoded query request, filling res for the
@@ -90,6 +124,26 @@ type Stats struct {
 	// because the durability layer was degraded; each one was answered
 	// with a VerdictDegraded frame before the connection closed.
 	DegradedSessions int64
+	// SequencedSessions counts ingest sessions that negotiated the
+	// sequenced, acknowledged protocol.
+	SequencedSessions int64
+	// OverloadRefusals counts batches refused by the per-shard ingest
+	// admission gate; each was answered with VerdictOverloaded.
+	OverloadRefusals int64
+	// DrainRefusals counts sessions (ingest handshakes and query sessions)
+	// refused with VerdictDraining during graceful shutdown.
+	DrainRefusals int64
+	// ReconnectReplays counts sequenced handshakes that found committed
+	// history (a non-zero high-water mark) — reconnects whose reply told
+	// the client where to resume.
+	ReconnectReplays int64
+	// DuplicateBatches counts sequenced frames suppressed as already
+	// committed — retransmits after a lost ack, acked without re-writing.
+	DuplicateBatches int64
+	// WriteDeadlineReaps counts response writes (acks, query results,
+	// verdicts) that hit the write deadline, tearing down a session whose
+	// peer stopped reading.
+	WriteDeadlineReaps int64
 }
 
 // Service accepts sensor connections and runs one session goroutine per
@@ -103,15 +157,28 @@ type Service struct {
 	reservePoints int
 	idleTimeout   time.Duration
 	queryConc     int
+	ingestBudget  int64
+	writeTimeout  time.Duration
 
-	sessions         atomic.Int64
-	active           atomic.Int64
-	symbols          atomic.Int64
-	bytesIn          atomic.Int64
-	querySessions    atomic.Int64
-	activeQueries    atomic.Int64
-	acceptRetries    atomic.Int64
-	degradedSessions atomic.Int64
+	// inflight is the per-shard admission gauge: estimated bytes of ingest
+	// batches currently being committed, bounded by ingestBudget.
+	inflight []atomic.Int64
+	draining atomic.Bool
+
+	sessions           atomic.Int64
+	active             atomic.Int64
+	symbols            atomic.Int64
+	bytesIn            atomic.Int64
+	querySessions      atomic.Int64
+	activeQueries      atomic.Int64
+	acceptRetries      atomic.Int64
+	degradedSessions   atomic.Int64
+	sequencedSessions  atomic.Int64
+	overloadRefusals   atomic.Int64
+	drainRefusals      atomic.Int64
+	reconnectReplays   atomic.Int64
+	duplicateBatches   atomic.Int64
+	writeDeadlineReaps atomic.Int64
 
 	mu      sync.Mutex
 	errs    []error
@@ -136,12 +203,19 @@ func New(cfg Config) *Service {
 	if conc <= 0 {
 		conc = defaultQueryConcurrency
 	}
+	wt := cfg.WriteTimeout
+	if wt == 0 {
+		wt = defaultWriteTimeout
+	}
 	return &Service{
 		store:         st,
 		ingest:        st,
 		reservePoints: cfg.ReservePoints,
 		idleTimeout:   cfg.IdleTimeout,
 		queryConc:     conc,
+		ingestBudget:  cfg.IngestBudget,
+		writeTimeout:  wt,
+		inflight:      make([]atomic.Int64, st.NumShards()),
 		closers:       make(map[net.Conn]struct{}),
 	}
 }
@@ -161,15 +235,90 @@ func (s *Service) Store() *Store { return s.store }
 // Stats returns current counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Sessions:         s.sessions.Load(),
-		Active:           s.active.Load(),
-		Symbols:          s.symbols.Load(),
-		BytesIn:          s.bytesIn.Load(),
-		QuerySessions:    s.querySessions.Load(),
-		ActiveQueries:    s.activeQueries.Load(),
-		AcceptRetries:    s.acceptRetries.Load(),
-		DegradedSessions: s.degradedSessions.Load(),
+		Sessions:           s.sessions.Load(),
+		Active:             s.active.Load(),
+		Symbols:            s.symbols.Load(),
+		BytesIn:            s.bytesIn.Load(),
+		QuerySessions:      s.querySessions.Load(),
+		ActiveQueries:      s.activeQueries.Load(),
+		AcceptRetries:      s.acceptRetries.Load(),
+		DegradedSessions:   s.degradedSessions.Load(),
+		SequencedSessions:  s.sequencedSessions.Load(),
+		OverloadRefusals:   s.overloadRefusals.Load(),
+		DrainRefusals:      s.drainRefusals.Load(),
+		ReconnectReplays:   s.reconnectReplays.Load(),
+		DuplicateBatches:   s.duplicateBatches.Load(),
+		WriteDeadlineReaps: s.writeDeadlineReaps.Load(),
 	}
+}
+
+// BeginDrain switches the service into graceful-drain mode: established
+// sessions keep their contracts, but new ingest handshakes and new query
+// sessions are answered with VerdictDraining — typed, retryable
+// backpressure — instead of a bare connection close. Graceful shutdown
+// (cmd/serve on SIGTERM) calls this before awaiting in-flight sessions, so
+// a rolling restart looks like a busy server, not a dead one.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// pointWireCost is the admission gate's per-point byte estimate: a decoded
+// SymbolPoint is a timestamp plus a symbol, ~16 bytes resident while the
+// batch is in flight.
+const pointWireCost = 16
+
+// acquireIngest charges one batch against its shard's in-flight budget,
+// refusing with ErrOverloaded when the budget is exhausted. A batch
+// arriving at an idle shard is always admitted so oversized batches cannot
+// be starved forever. Callers must releaseIngest the same cost when the
+// commit finishes, success or not.
+func (s *Service) acquireIngest(meterID uint64, cost int64) error {
+	if s.ingestBudget <= 0 || cost == 0 {
+		return nil
+	}
+	shard := s.store.ShardFor(meterID)
+	g := &s.inflight[shard]
+	if n := g.Add(cost); n > s.ingestBudget && n != cost {
+		g.Add(-cost)
+		s.overloadRefusals.Add(1)
+		return fmt.Errorf("%w: shard %d has %d bytes in flight, batch of %d exceeds budget %d",
+			ErrOverloaded, shard, n-cost, cost, s.ingestBudget)
+	}
+	return nil
+}
+
+func (s *Service) releaseIngest(meterID uint64, cost int64) {
+	if s.ingestBudget <= 0 || cost == 0 {
+		return
+	}
+	s.inflight[s.store.ShardFor(meterID)].Add(-cost)
+}
+
+// writeFrame writes one server→client frame under the response write
+// deadline, counting a deadline hit as a reaped slow consumer.
+func (s *Service) writeFrame(conn net.Conn, frame []byte) error {
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	_, err := conn.Write(frame)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		s.writeDeadlineReaps.Add(1)
+	}
+	return err
+}
+
+// ingestVerdictCode maps a session-refusing error onto its wire verdict, or
+// 0 for errors with no typed verdict (protocol violations, disconnects).
+func ingestVerdictCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrDegraded):
+		return transport.VerdictDegraded
+	case errors.Is(err, ErrOverloaded):
+		return transport.VerdictOverloaded
+	case errors.Is(err, ErrDraining):
+		return transport.VerdictDraining
+	case errors.Is(err, ErrDuplicateMeter):
+		return transport.VerdictBusy
+	}
+	return 0
 }
 
 // SessionErrors returns the errors of every failed session so far. An
@@ -300,17 +449,19 @@ func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
 	// handshake read reproduces it as the usual ErrBadHandshake-wrapped
 	// session error.
 	s.sessions.Add(1)
-	symbols, err := s.runSession(br)
+	symbols, err := s.runSession(conn, br)
 	s.symbols.Add(symbols)
 	if err != nil {
-		if errors.Is(err, ErrDegraded) {
-			// The one 'X' frame the ingest protocol speaks: tell the sensor
-			// its write was refused because storage is degraded (retryable,
-			// nothing was written) before the connection closes. Best
-			// effort — a peer that already hung up just misses the hint.
-			s.degradedSessions.Add(1)
+		if code := ingestVerdictCode(err); code != 0 {
+			// The parting 'X' frame: tell the sensor *why* its stream ended —
+			// degraded storage, overload, drain, or a busy meter — all typed
+			// and retryable, before the connection closes. Best effort — a
+			// peer that already hung up just misses the hint.
+			if code == transport.VerdictDegraded {
+				s.degradedSessions.Add(1)
+			}
 			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-			frame := transport.AppendQueryErrorFrame(nil, 0, transport.VerdictDegraded, err.Error())
+			frame := transport.AppendQueryErrorFrame(nil, 0, code, err.Error())
 			_, _ = conn.Write(frame)
 		}
 		s.recordErr(err)

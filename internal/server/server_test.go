@@ -243,6 +243,20 @@ func TestDuplicateMeterRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitSessionErr(t, svc, ErrDuplicateMeter)
+	// The refusal is typed now: a parting 'X' frame with VerdictBusy tells
+	// the client the meter has a live session (retryable after reap), then
+	// the connection closes.
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := transport.NewFrameReader(second)
+	typ, payload, err := fr.Next()
+	if err != nil || typ != transport.FrameQueryError {
+		t.Fatalf("parting frame: typ=%#x err=%v", typ, err)
+	}
+	var res transport.QueryResult
+	var qe *transport.QueryError
+	if err := transport.DecodeQueryResponse(typ, payload, &res); !errors.As(err, &qe) || qe.Code != transport.VerdictBusy {
+		t.Fatalf("parting verdict: err=%v", err)
+	}
 	expectClosed(t, second)
 
 	// The original session is unaffected: it can still finish cleanly.

@@ -43,18 +43,23 @@ func (ir *idleReader) Read(p []byte) (int, error) {
 // runSession drives one accepted ingest connection end to end: handshake,
 // meter registration, then the decode loop. The caller (handleConn) owns
 // buffering, byte counting and any idle deadline; r is the ready-to-read
-// stream. It returns the number of symbols ingested and a nil error only
-// for an orderly 'E'-terminated stream.
+// stream (conn is only written to — acks in sequenced sessions). It returns
+// the number of symbols ingested and a nil error only for an orderly
+// 'E'-terminated stream.
 //
 // Failure isolation is the point of the structure: every store write is a
 // single shard-locked call, so an error at any point — torn frame, abrupt
 // disconnect, bad table — tears down only this session. State committed by
 // earlier batches stays readable and the shard lock is never held across a
 // network read, so a dying session cannot poison its shard.
-func (s *Service) runSession(r io.Reader) (symbols int64, err error) {
+func (s *Service) runSession(conn net.Conn, r io.Reader) (symbols int64, err error) {
 	hs, err := transport.ReadHandshake(r)
 	if err != nil {
 		return 0, err
+	}
+	if s.draining.Load() {
+		s.drainRefusals.Add(1)
+		return 0, fmt.Errorf("%w: meter %d", ErrDraining, hs.MeterID)
 	}
 	if err := s.ingest.StartSession(hs.MeterID); err != nil {
 		return 0, err
@@ -64,6 +69,9 @@ func (s *Service) runSession(r io.Reader) (symbols int64, err error) {
 		if err := s.ingest.Reserve(hs.MeterID, s.reservePoints); err != nil {
 			return 0, err
 		}
+	}
+	if hs.Sequenced() {
+		return s.runSequencedSession(conn, r, hs.MeterID)
 	}
 
 	dec := transport.NewDecoder(r)
@@ -83,13 +91,131 @@ func (s *Service) runSession(r io.Reader) (symbols int64, err error) {
 				return symbols, err
 			}
 		case transport.FrameSymbol:
+			cost := int64(len(ev.Points)) * pointWireCost
+			if err := s.acquireIngest(hs.MeterID, cost); err != nil {
+				// Legacy sessions have no per-batch refusal channel; the
+				// typed verdict goes out as the parting 'X' frame.
+				return symbols, err
+			}
 			n, err := s.ingest.Append(hs.MeterID, ev.Points)
+			s.releaseIngest(hs.MeterID, cost)
 			if err != nil {
 				return symbols, err
 			}
 			symbols += int64(n)
 		case transport.FrameEnd:
 			return symbols, nil
+		case transport.FrameSeqTable, transport.FrameSeqSymbol:
+			return symbols, fmt.Errorf("server: meter %d: sequenced frame %#x on unsequenced session", hs.MeterID, ev.Type)
 		}
 	}
+}
+
+// runSequencedSession drives the acknowledged, exactly-once decode loop
+// negotiated by FlagSequenced. The handshake reply is an 'A' frame carrying
+// the meter's committed high-water mark (so a reconnecting client replays
+// only unacked batches); every committed or duplicate-suppressed frame is
+// acked with its seq; retryable refusals — degraded storage, overload —
+// answer with a per-batch 'X' frame (id = refused seq) and keep the session
+// alive, so the client backs off and resends the same seq. Only protocol
+// violations (sequence gaps, unsequenced frames) and transport failures
+// tear the session down.
+func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64) (symbols int64, err error) {
+	si, ok := s.ingest.(SequencedIngest)
+	if !ok {
+		return 0, fmt.Errorf("server: meter %d requested a sequenced session, ingest layer cannot sequence", meterID)
+	}
+	s.sequencedSessions.Add(1)
+	hwm := si.LastSeq(meterID)
+	if hwm > 0 {
+		s.reconnectReplays.Add(1)
+	}
+	var wbuf []byte
+	ack := func(seq uint64) error {
+		wbuf = transport.AppendAckFrame(wbuf[:0], seq)
+		return s.writeFrame(conn, wbuf)
+	}
+	refuse := func(seq uint64, cause error) error {
+		wbuf = transport.AppendQueryErrorFrame(wbuf[:0], seq, ingestVerdictCode(cause), cause.Error())
+		return s.writeFrame(conn, wbuf)
+	}
+	if err := ack(hwm); err != nil {
+		return 0, fmt.Errorf("server: meter %d handshake ack: %w", meterID, err)
+	}
+
+	dec := transport.NewDecoder(r)
+	if hwm > 0 {
+		// A committed high-water mark proves a table commit (a fresh meter's
+		// first committable frame is necessarily its table), so the resumed
+		// stream may open with symbol batches.
+		dec.TableEstablished()
+	}
+	for {
+		ev, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return symbols, fmt.Errorf("server: meter %d disconnected without end frame: %w", meterID, io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			return symbols, fmt.Errorf("server: meter %d: %w", meterID, err)
+		}
+		switch ev.Type {
+		case transport.FrameSeqTable:
+			dup, err := si.PushTableSeq(meterID, ev.Seq, ev.Table)
+			if err != nil {
+				if retryableRefusal(err) {
+					if werr := refuse(ev.Seq, err); werr != nil {
+						return symbols, fmt.Errorf("server: meter %d refusal write: %w", meterID, werr)
+					}
+					continue
+				}
+				return symbols, err
+			}
+			if dup {
+				s.duplicateBatches.Add(1)
+			}
+			if err := ack(ev.Seq); err != nil {
+				return symbols, fmt.Errorf("server: meter %d ack write: %w", meterID, err)
+			}
+		case transport.FrameSeqSymbol:
+			cost := int64(len(ev.Points)) * pointWireCost
+			if err := s.acquireIngest(meterID, cost); err != nil {
+				if werr := refuse(ev.Seq, err); werr != nil {
+					return symbols, fmt.Errorf("server: meter %d refusal write: %w", meterID, werr)
+				}
+				continue
+			}
+			n, dup, err := si.AppendSeq(meterID, ev.Seq, ev.Points)
+			s.releaseIngest(meterID, cost)
+			if err != nil {
+				// A refusal before anything committed keeps the session (and
+				// the client's right to resend this seq); a partial commit
+				// cannot be retried under the same seq, so it tears down.
+				if n == 0 && retryableRefusal(err) {
+					if werr := refuse(ev.Seq, err); werr != nil {
+						return symbols, fmt.Errorf("server: meter %d refusal write: %w", meterID, werr)
+					}
+					continue
+				}
+				return symbols, err
+			}
+			if dup {
+				s.duplicateBatches.Add(1)
+			}
+			symbols += int64(n)
+			if err := ack(ev.Seq); err != nil {
+				return symbols, fmt.Errorf("server: meter %d ack write: %w", meterID, err)
+			}
+		case transport.FrameEnd:
+			return symbols, nil
+		case transport.FrameTable, transport.FrameSymbol:
+			return symbols, fmt.Errorf("server: meter %d: unsequenced frame %#x on sequenced session", meterID, ev.Type)
+		}
+	}
+}
+
+// retryableRefusal reports whether an ingest error is a typed
+// nothing-was-written refusal a sequenced session survives (the client
+// resends the same seq after backoff).
+func retryableRefusal(err error) bool {
+	return errors.Is(err, ErrDegraded) || errors.Is(err, ErrOverloaded)
 }

@@ -40,6 +40,19 @@ var (
 	// queries keep serving, but the server will not acknowledge writes it
 	// cannot make durable. Travels the wire as transport.VerdictDegraded.
 	ErrDegraded = errors.New("server: storage degraded: ingest refused")
+	// ErrOverloaded reports an ingest batch refused by admission control:
+	// the shard's in-flight ingest budget is exhausted. Retryable — nothing
+	// was written, and the budget frees as in-flight batches commit.
+	// Travels the wire as transport.VerdictOverloaded.
+	ErrOverloaded = errors.New("server: ingest overloaded: shard budget exhausted")
+	// ErrDraining reports a session refused because the service is shutting
+	// down gracefully. Retryable against the restarted process. Travels the
+	// wire as transport.VerdictDraining.
+	ErrDraining = errors.New("server: draining: new sessions refused")
+	// ErrSeqGap reports a sequenced batch that skips ahead of the meter's
+	// high-water mark — a client bug (sequence numbers must be dense), torn
+	// down loudly rather than committed out of order.
+	ErrSeqGap = errors.New("server: sequence gap in sequenced ingest")
 )
 
 // ReconPoint is one reconstructed measurement: the symbol the meter sent
@@ -75,6 +88,10 @@ type meterEntry struct {
 	tables   []*symbolic.Table
 	sessions int
 	active   bool
+	// seq is the committed batch-sequence high-water mark for sequenced
+	// ingest (0 = nothing committed). Guarded by the shard lock; only the
+	// meter's single live session advances it.
+	seq uint64
 
 	blocks []block
 
@@ -382,6 +399,81 @@ func (s *Store) EndSession(meterID uint64) {
 	if e := sh.meter(meterID); e != nil {
 		e.active = false
 	}
+}
+
+// LastSeq reports the meter's committed batch-sequence high-water mark, or
+// zero for a meter that never committed a sequenced batch (or is unknown).
+// It is the handshake-reply value a reconnecting sequenced client uses to
+// decide which pending batches to replay.
+func (s *Store) LastSeq(meterID uint64) uint64 {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.meter(meterID); e != nil {
+		return e.seq
+	}
+	return 0
+}
+
+// seqCheck classifies seq against the meter's high-water mark: committed
+// already (dup), next in line (proceed), or a gap (client bug, loud error).
+func (s *Store) seqCheck(meterID, seq uint64) (dup bool, err error) {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.meter(meterID)
+	if e == nil {
+		return false, fmt.Errorf("%w: %d", ErrUnknownMeter, meterID)
+	}
+	if seq <= e.seq {
+		return true, nil
+	}
+	if seq != e.seq+1 {
+		return false, fmt.Errorf("%w: meter %d got seq %d with high-water mark %d", ErrSeqGap, meterID, seq, e.seq)
+	}
+	return false, nil
+}
+
+// seqAdvance commits seq as the meter's new high-water mark.
+func (s *Store) seqAdvance(meterID, seq uint64) {
+	sh := s.shardOf(meterID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.meter(meterID); e != nil && seq > e.seq {
+		e.seq = seq
+	}
+}
+
+// PushTableSeq is PushTable for sequenced sessions: seq == hwm+1 commits
+// the table and advances the mark, seq <= hwm is suppressed as a duplicate
+// (dup=true, nothing written, still to be acked), and a gap is refused.
+func (s *Store) PushTableSeq(meterID, seq uint64, t *symbolic.Table) (bool, error) {
+	dup, err := s.seqCheck(meterID, seq)
+	if dup || err != nil {
+		return dup, err
+	}
+	if err := s.PushTable(meterID, t); err != nil {
+		return false, err
+	}
+	s.seqAdvance(meterID, seq)
+	return false, nil
+}
+
+// AppendSeq is Append for sequenced sessions, with the same duplicate and
+// gap semantics as PushTableSeq. The high-water mark advances only after
+// the whole batch commits, so a failed append leaves the mark untouched
+// and the client's retry of the same seq is not misread as a duplicate.
+func (s *Store) AppendSeq(meterID, seq uint64, pts []symbolic.SymbolPoint) (int, bool, error) {
+	dup, err := s.seqCheck(meterID, seq)
+	if dup || err != nil {
+		return 0, dup, err
+	}
+	n, err := s.Append(meterID, pts)
+	if err != nil {
+		return n, false, err
+	}
+	s.seqAdvance(meterID, seq)
+	return n, false, nil
 }
 
 // PushTable records a new lookup table for the meter, opening a new epoch:

@@ -513,7 +513,7 @@ func TestFaultedRecoveryThenClean(t *testing.T) {
 
 // TestFormat1ManifestMigrates: a directory written by the pre-generation
 // layout (manifest format 1, no wal_gen) opens cleanly, runs at generation
-// 0, and is rewritten forward to format 2 on the spot.
+// 0, and is rewritten forward to the current format on the spot.
 func TestFormat1ManifestMigrates(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"),
@@ -539,8 +539,8 @@ func TestFormat1ManifestMigrates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(raw), `"format": 2`) {
-		t.Fatalf("manifest not migrated to format 2:\n%s", raw)
+	if !strings.Contains(string(raw), `"format": 3`) {
+		t.Fatalf("manifest not migrated to format 3:\n%s", raw)
 	}
 	re := chaosOpen(t, dir, nil, storage.SyncOff, time.Hour)
 	defer re.Close()

@@ -95,11 +95,17 @@ type RecoveryStats struct {
 
 // meterMeta is the engine's per-meter ingest state (current epoch and symbol
 // level), used to frame WAL batch records and pre-validate appends before
-// they are logged. Fields are written only by the meter's single session
-// goroutine (the same serialization the wire protocol imposes).
+// they are logged, plus the sequenced-ingest high-water mark. Fields are
+// written only by the meter's single session goroutine (the same
+// serialization the wire protocol imposes); cross-session visibility rides
+// the store's shard lock in EndSession/StartSession.
 type meterMeta struct {
 	epoch int
 	level int
+	// seq is the highest committed session sequence number — the value a
+	// reconnecting client learns in its handshake ack. It advances only
+	// after the store commit, so an acked seq is always readable.
+	seq uint64
 }
 
 // Engine wraps a server.Store with the WAL + segment durability layer. It
@@ -349,8 +355,12 @@ func (e *Engine) recover() error {
 			}
 			e.recovered.WALRecords += len(recs)
 			for _, rec := range recs {
-				if rec.typ == recTable {
-					m, t, err := decodeTable(rec.data)
+				typ, _, data, err := stripSeq(rec)
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				if typ == recTable {
+					m, t, err := decodeTable(data)
 					if err != nil {
 						return fmt.Errorf("%s: %w", path, err)
 					}
@@ -396,17 +406,28 @@ func (e *Engine) recover() error {
 	e.store.SetSealSink(e)
 
 	// 6. Replay the logs through the normal ingest path, skipping the
-	// already-restored prefix of each meter.
+	// already-restored prefix of each meter. Sequenced records ('t'/'b')
+	// replay identically to their legacy twins and additionally advance the
+	// meter's sequence high-water mark — a seq is tracked even for batches
+	// the segment restore already covers, since those were committed too.
 	tseen := make(map[uint64]int)
+	maxSeq := make(map[uint64]uint64)
 	var ptsScratch []symbolic.SymbolPoint
 	var symScratch []symbolic.Symbol
 	for i := 0; i < shards; i++ {
 		for _, rec := range logs[i].recs {
-			switch rec.typ {
+			typ, seq, data, err := stripSeq(rec)
+			if err != nil {
+				return fmt.Errorf("shard %d wal: %w", i, err)
+			}
+			switch typ {
 			case recTable:
-				m, t, err := decodeTable(rec.data)
+				m, t, err := decodeTable(data)
 				if err != nil {
 					return fmt.Errorf("shard %d wal: %w", i, err)
+				}
+				if seq > maxSeq[m] {
+					maxSeq[m] = seq
 				}
 				tseen[m]++
 				if tseen[m] > installed[m] {
@@ -419,9 +440,12 @@ func (e *Engine) recover() error {
 				}
 			case recBatch:
 				var br batchRecord
-				br, ptsScratch, symScratch, err = decodeBatch(rec.data, ptsScratch, symScratch)
+				br, ptsScratch, symScratch, err = decodeBatch(data, ptsScratch, symScratch)
 				if err != nil {
 					return fmt.Errorf("shard %d wal: %w", i, err)
+				}
+				if seq > maxSeq[br.meterID] {
+					maxSeq[br.meterID] = seq
 				}
 				if int(br.epoch) != tseen[br.meterID]-1 {
 					return fmt.Errorf("%w: meter %d batch under epoch %d, log position implies %d", ErrWALCorrupt, br.meterID, br.epoch, tseen[br.meterID]-1)
@@ -469,10 +493,12 @@ func (e *Engine) recover() error {
 		e.wals[i].Store(newWAL(f, logs[i].valid))
 	}
 
-	// 8. Hand each recovered meter its ingest state for live sessions.
+	// 8. Hand each recovered meter its ingest state for live sessions,
+	// including the sequence high-water mark the next session's handshake
+	// ack will carry.
 	for m, tl := range tables {
 		if len(tl) > 0 {
-			e.meters.Store(m, &meterMeta{epoch: len(tl) - 1, level: tl[len(tl)-1].Level()})
+			e.meters.Store(m, &meterMeta{epoch: len(tl) - 1, level: tl[len(tl)-1].Level(), seq: maxSeq[m]})
 		}
 	}
 	return nil
@@ -630,6 +656,115 @@ func (e *Engine) Append(meterID uint64, pts []symbolic.SymbolPoint) (int, error)
 		return 0, err
 	}
 	return e.store.Append(meterID, pts)
+}
+
+// --- server.SequencedIngest -----------------------------------------------
+
+// LastSeq reports the meter's committed sequence high-water mark — 0 when
+// the meter is unknown or all of its history predates sequencing. Called by
+// the meter's session goroutine at handshake; visibility of the previous
+// session's final advance rides the store's shard lock.
+func (e *Engine) LastSeq(meterID uint64) uint64 {
+	if v, ok := e.meters.Load(meterID); ok {
+		return v.(*meterMeta).seq
+	}
+	return 0
+}
+
+// seqCheck applies the dense-sequence rule against the meter's high-water
+// mark: at-or-below is a duplicate (suppressed but acked — the data is
+// already durable), exactly hwm+1 commits, anything else is a gap the
+// session must not paper over.
+func seqCheck(cur, seq uint64, meterID uint64) (dup bool, err error) {
+	if seq <= cur {
+		return true, nil
+	}
+	if seq != cur+1 {
+		return false, fmt.Errorf("%w: meter %d got seq %d, high-water mark %d", server.ErrSeqGap, meterID, seq, cur)
+	}
+	return false, nil
+}
+
+// PushTableSeq is PushTable under a session sequence number: duplicates are
+// suppressed without touching the log, gaps refuse, and the WAL record
+// carries the seq so recovery restores the high-water mark. The duplicate
+// check runs before the degraded-refusal check on purpose — acking an
+// already-durable batch is truthful even when the engine cannot accept new
+// writes.
+func (e *Engine) PushTableSeq(meterID, seq uint64, t *symbolic.Table) (bool, error) {
+	if e.closed.Load() {
+		return false, ErrClosed
+	}
+	if _, ok := e.store.Meter(meterID); !ok {
+		return false, fmt.Errorf("%w: %d", server.ErrUnknownMeter, meterID)
+	}
+	if dup, err := seqCheck(e.LastSeq(meterID), seq, meterID); dup || err != nil {
+		return dup, err
+	}
+	if r := e.health.refuse.Load(); r != nil {
+		return false, r.err
+	}
+	shard := e.store.ShardFor(meterID)
+	if _, err := e.walAppend(shard, func(w *wal) (int64, error) {
+		return w.appendTableSeq(meterID, seq, t)
+	}); err != nil {
+		return false, err
+	}
+	if err := e.store.PushTable(meterID, t); err != nil {
+		return false, err
+	}
+	v, _ := e.meters.LoadOrStore(meterID, &meterMeta{epoch: -1})
+	mm := v.(*meterMeta)
+	mm.epoch++
+	mm.level = t.Level()
+	mm.seq = seq
+	return false, nil
+}
+
+// AppendSeq is Append under a session sequence number. The high-water mark
+// advances only after the whole batch commits to the store, so a refused or
+// failed batch stays retryable under the same seq. Empty sequenced batches
+// are refused outright: they would have to be durable for the mark to
+// survive recovery, and the WAL batch encoding (correctly) has no empty
+// form — the client never sends them.
+func (e *Engine) AppendSeq(meterID, seq uint64, pts []symbolic.SymbolPoint) (int, bool, error) {
+	if e.closed.Load() {
+		return 0, false, ErrClosed
+	}
+	v, ok := e.meters.Load(meterID)
+	if !ok {
+		if _, exists := e.store.Meter(meterID); !exists {
+			return 0, false, fmt.Errorf("%w: %d", server.ErrUnknownMeter, meterID)
+		}
+		return 0, false, fmt.Errorf("%w: %d", server.ErrNoTable, meterID)
+	}
+	mm := v.(*meterMeta)
+	if dup, err := seqCheck(mm.seq, seq, meterID); dup || err != nil {
+		return 0, dup, err
+	}
+	if len(pts) == 0 {
+		return 0, false, fmt.Errorf("storage: meter %d: empty sequenced batch (seq %d)", meterID, seq)
+	}
+	if r := e.health.refuse.Load(); r != nil {
+		return 0, false, r.err
+	}
+	for i := range pts {
+		if pts[i].S.Level() != mm.level {
+			return 0, false, fmt.Errorf("%w: point %d has level %d, table has level %d",
+				server.ErrBadSymbol, i, pts[i].S.Level(), mm.level)
+		}
+	}
+	shard := e.store.ShardFor(meterID)
+	if _, err := e.walAppend(shard, func(w *wal) (int64, error) {
+		return w.appendBatchSeq(meterID, seq, uint32(mm.epoch), mm.level, pts)
+	}); err != nil {
+		return 0, false, err
+	}
+	n, err := e.store.Append(meterID, pts)
+	if err == nil {
+		mm.seq = seq
+	}
+	return n, false, err
 }
 
 // walAppend writes one record through the shard's current log and, under

@@ -38,9 +38,14 @@ import (
 //	   shard's generations in order. A format-1 directory migrates forward
 //	   as wal_gen 0; format-1 readers must refuse format-2 directories,
 //	   which is exactly what the rule above makes them do.
+//	3: declares that shard logs may hold sequenced record types 't'/'b'
+//	   (exactly-once ingest, PR 9). No manifest field changes; the bump
+//	   exists so a format-2 binary refuses the directory loudly instead of
+//	   reporting the unknown record types as WAL corruption. Formats 1 and 2
+//	   migrate forward without rewriting any log.
 const (
 	manifestName   = "MANIFEST.json"
-	manifestFormat = 2
+	manifestFormat = 3
 )
 
 // ErrFormatTooNew reports a data directory written by a newer binary.
@@ -80,9 +85,14 @@ func loadManifest(fsys FS, dir string) (m manifest, ok, migrated bool, err error
 		return m, false, false, fmt.Errorf("storage: %s: implausible format %d / shards %d", manifestName, m.Format, m.Shards)
 	}
 	if m.Format < manifestFormat {
-		// Format 1 predates WAL generations: all of its logs are generation
-		// 0 whatever a stray field claims.
-		m.WALGen = 0
+		if m.Format == 1 {
+			// Format 1 predates WAL generations: all of its logs are
+			// generation 0 whatever a stray field claims.
+			m.WALGen = 0
+		}
+		// 2 → 3 changes no fields: format 3 only licenses the sequenced WAL
+		// record types, and a pre-sequencing log is a valid sequenced log
+		// with every high-water mark at 0.
 		m.Format = manifestFormat
 		migrated = true
 	}

@@ -54,15 +54,24 @@ import (
 //	     count(uint32) | timestamps | packed symbols (headerless, MSB-first)
 //	     kind 0 (arithmetic): timestamps = firstT(int64) | stride(int64)
 //	     kind 1 (explicit):   timestamps = count × int64
+//	't': seq(uint64) | 'T' body — a table push committed under a session
+//	     sequence number (manifest format ≥ 3)
+//	'b': seq(uint64) | 'B' body — a batch committed under a session
+//	     sequence number (manifest format ≥ 3)
 //
 // Batches off the wire are arithmetic in practice (the transport already
 // reconstructs firstT + i·window), so kind 0 — 16 bytes for any batch — is
 // the hot encoding; kind 1 keeps the log lossless for arbitrary Append
-// callers.
+// callers. The sequenced variants exist for exactly-once ingest: recovery
+// restores each meter's sequence high-water mark as the max seq across every
+// replayed record, so a reconnecting client learns which batches survived
+// the crash and replays only the rest.
 const (
 	walHeaderLen = 12
 	recTable     = 'T'
 	recBatch     = 'B'
+	recSeqTable  = 't'
+	recSeqBatch  = 'b'
 	// maxWALRecord bounds a record body against corrupted length fields,
 	// mirroring the transport's frame cap.
 	maxWALRecord = 16 << 20
@@ -187,10 +196,22 @@ var walHdrZero [walHeaderLen]byte
 
 // appendTable logs a table push.
 func (w *wal) appendTable(meterID uint64, t *symbolic.Table) (int64, error) {
+	return w.appendTableRec(recTable, 0, meterID, t)
+}
+
+// appendTableSeq logs a table push committed under a session sequence number.
+func (w *wal) appendTableSeq(meterID, seq uint64, t *symbolic.Table) (int64, error) {
+	return w.appendTableRec(recSeqTable, seq, meterID, t)
+}
+
+func (w *wal) appendTableRec(typ byte, seq, meterID uint64, t *symbolic.Table) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	buf := append(w.buf[:0], walHdrZero[:]...)
-	buf = append(buf, recTable)
+	buf = append(buf, typ)
+	if typ == recSeqTable {
+		buf = binary.BigEndian.AppendUint64(buf, seq)
+	}
 	buf = binary.BigEndian.AppendUint64(buf, meterID)
 	buf = append(buf, symbolic.MarshalTable(t)...)
 	w.buf = buf
@@ -199,10 +220,22 @@ func (w *wal) appendTable(meterID uint64, t *symbolic.Table) (int64, error) {
 
 // appendBatch logs one Append batch under the meter's current epoch.
 func (w *wal) appendBatch(meterID uint64, epoch uint32, level int, pts []symbolic.SymbolPoint) (int64, error) {
+	return w.appendBatchRec(recBatch, 0, meterID, epoch, level, pts)
+}
+
+// appendBatchSeq logs one batch committed under a session sequence number.
+func (w *wal) appendBatchSeq(meterID, seq uint64, epoch uint32, level int, pts []symbolic.SymbolPoint) (int64, error) {
+	return w.appendBatchRec(recSeqBatch, seq, meterID, epoch, level, pts)
+}
+
+func (w *wal) appendBatchRec(typ byte, seq, meterID uint64, epoch uint32, level int, pts []symbolic.SymbolPoint) (int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	buf := append(w.buf[:0], walHdrZero[:]...)
-	buf = append(buf, recBatch)
+	buf = append(buf, typ)
+	if typ == recSeqBatch {
+		buf = binary.BigEndian.AppendUint64(buf, seq)
+	}
 	buf = binary.BigEndian.AppendUint64(buf, meterID)
 	buf = binary.BigEndian.AppendUint32(buf, epoch)
 	buf = append(buf, byte(level))
@@ -447,6 +480,20 @@ func decodeBatch(data []byte, ptsScratch []symbolic.SymbolPoint, symScratch []sy
 	}
 	br.pts = pts
 	return br, ptsScratch, symScratch, nil
+}
+
+// stripSeq normalizes a possibly-sequenced record to its legacy type and
+// body, returning the sequence number (0 for legacy records) — replay
+// handles 't'/'b' exactly like 'T'/'B' plus a high-water-mark update.
+func stripSeq(rec walRecord) (typ byte, seq uint64, data []byte, err error) {
+	switch rec.typ {
+	case recSeqTable, recSeqBatch:
+		if len(rec.data) < 8 {
+			return 0, 0, nil, fmt.Errorf("%w: sequenced record of %d bytes", ErrWALCorrupt, len(rec.data))
+		}
+		return rec.typ - ('a' - 'A'), binary.BigEndian.Uint64(rec.data), rec.data[8:], nil
+	}
+	return rec.typ, 0, rec.data, nil
 }
 
 // decodeTable parses a 'T' record payload.

@@ -107,6 +107,20 @@ var (
 	// refused until the server heals. Clients should back off and retry —
 	// nothing about the refused batch was written.
 	ErrServerDegraded = errors.New("transport: server storage degraded, ingest refused")
+	// ErrServerOverloaded reports an admission-control refusal: the shard's
+	// in-flight ingest budget is exhausted. Retryable — nothing about the
+	// refused batch was written, and the budget frees as in-flight work
+	// drains.
+	ErrServerOverloaded = errors.New("transport: server overloaded, ingest refused")
+	// ErrServerDraining reports a server refusing new sessions because it
+	// is shutting down gracefully. Retryable — a rolling restart looks like
+	// backpressure, and a peer (or its replacement) comes back.
+	ErrServerDraining = errors.New("transport: server draining, session refused")
+	// ErrMeterBusy reports a session refused because the meter already has
+	// an active session — the reconnect race, where the server has not yet
+	// reaped the old connection. Retryable: the stale session is reaped by
+	// its read failing or by the idle timeout.
+	ErrMeterBusy = errors.New("transport: meter already has an active session")
 )
 
 // Error codes carried in 'X' frames.
@@ -121,9 +135,20 @@ const (
 	// VerdictDegraded reports the server's storage is degraded and the
 	// operation (an ingest session, typically) was refused. Unlike the
 	// QErr* codes it can arrive on an ingest connection too — the one 'X'
-	// frame the ingest protocol emits, so a sensor learns *why* its stream
-	// ended instead of seeing a bare hangup.
+	// frame the legacy ingest protocol emits, so a sensor learns *why* its
+	// stream ended instead of seeing a bare hangup. In a sequenced session
+	// it arrives per batch (id = refused seq) and the session survives.
 	VerdictDegraded byte = 8
+	// VerdictOverloaded reports admission control refusing the operation:
+	// the shard's in-flight ingest budget is exhausted. Retryable, distinct
+	// from VerdictDegraded — the server is healthy, just saturated.
+	VerdictOverloaded byte = 9
+	// VerdictDraining reports a graceful shutdown refusing new sessions
+	// (ingest handshakes and query requests alike). Retryable.
+	VerdictDraining byte = 10
+	// VerdictBusy reports an ingest handshake refused because the meter
+	// already has an active session — the reconnect race. Retryable.
+	VerdictBusy byte = 11
 )
 
 // QueryError is a server-reported query failure: the typed error response
@@ -158,8 +183,25 @@ func (e *QueryError) Is(target error) bool {
 		return e.Code == QErrBadRequest
 	case ErrServerDegraded:
 		return e.Code == VerdictDegraded
+	case ErrServerOverloaded:
+		return e.Code == VerdictOverloaded
+	case ErrServerDraining:
+		return e.Code == VerdictDraining
+	case ErrMeterBusy:
+		return e.Code == VerdictBusy
 	}
 	return false
+}
+
+// Retryable reports whether err is one of the typed "nothing was written,
+// try again later" refusals — degraded storage, overload admission control,
+// graceful drain, or the reconnect busy race. Raw transport errors are NOT
+// retryable through this predicate: after one, only a sequenced session
+// (which learns the committed high-water mark on re-handshake) can retry
+// without risking duplication.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrServerDegraded) || errors.Is(err, ErrServerOverloaded) ||
+		errors.Is(err, ErrServerDraining) || errors.Is(err, ErrMeterBusy)
 }
 
 // QueryErrorCode flattens any error into an 'X'-frame code and message: a

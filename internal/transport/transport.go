@@ -8,8 +8,10 @@
 // (tested over bytes.Buffer, net.Pipe and real TCP):
 //
 //	frame   = type(1) | length(uint32 BE) | payload
-//	'H'     = session handshake: version(1) | meterID(uint64 BE); must be
-//	          the first frame on a multi-meter session stream
+//	'H'     = session handshake; must be the first frame on a multi-meter
+//	          session stream. v1: version(1) | meterID(uint64 BE).
+//	          v2: version(1) | flags(1) | meterID(uint64 BE); servers
+//	          accept both shapes.
 //	'T'     = lookup table (symbolic.MarshalTable payload)
 //	'S'     = symbol batch: firstT(int64 BE) | window(int64 BE) | packed
 //	          symbols of consecutive windows (symbolic.Pack payload)
@@ -18,6 +20,25 @@
 // A batch holds symbols of consecutive windows only; the sensor starts a
 // new batch when a data gap breaks consecutiveness, so timestamps are
 // reconstructed exactly.
+//
+// Protocol v2 adds the sequenced, acknowledged ingest family, negotiated by
+// the FlagSequenced handshake flag (legacy streams stay one-way):
+//
+//	'U'     = sequenced table:  seq(uint64 BE) | marshaled table
+//	'D'     = sequenced batch:  seq(uint64 BE) | firstT | window | packed
+//	'A'     = ack:              seq(uint64 BE) — the server's committed
+//	          per-meter high-water mark. Sent once as the handshake reply
+//	          (so a reconnecting client learns what survived) and once per
+//	          committed or duplicate-suppressed 'U'/'D' frame.
+//
+// Sequence numbers start at 1 and increase by exactly one per 'U'/'D'
+// frame across the meter's lifetime (not per connection). The server
+// commits seq == hwm+1 and advances, suppresses seq <= hwm as a duplicate
+// (still acked — that is what makes retry-after-reset exactly-once), and
+// tears the session on a gap. Per-frame refusals (storage degraded, shard
+// overloaded) arrive as 'X' frames carrying the refused seq in the id
+// field; the session survives them, so a client backs off and resends the
+// same seq.
 //
 // The single-connection Sensor/Server pair predates the handshake and
 // still works handshake-free over a dedicated stream; the concurrent
@@ -41,12 +62,28 @@ const (
 	FrameTable     byte = 'T'
 	FrameSymbol    byte = 'S'
 	FrameEnd       byte = 'E'
+	FrameSeqTable  byte = 'U'
+	FrameSeqSymbol byte = 'D'
+	FrameAck       byte = 'A'
 )
 
 // ProtocolVersion is the current sensor→server protocol version carried in
-// the handshake frame. A server refuses streams from other versions with
+// the handshake frame. v2 adds the flags byte and the sequenced ingest
+// family; servers still accept v1's flag-less handshake, and a v1 stream
+// never sees the new frames. A server refuses other versions with
 // ErrVersionMismatch rather than guessing at frame semantics.
-const ProtocolVersion byte = 1
+const ProtocolVersion byte = 2
+
+// Handshake flag bits (v2+). Unknown bits are rejected, not ignored — a
+// future revision that needs more must bump ProtocolVersion.
+const (
+	// FlagSequenced requests a sequenced, acknowledged session: the server
+	// replies to the handshake with an 'A' frame carrying the meter's
+	// committed high-water mark and acks every 'U'/'D' frame.
+	FlagSequenced byte = 1 << 0
+
+	flagsKnown = FlagSequenced
+)
 
 // maxFrame bounds payload sizes against corrupted length fields.
 const maxFrame = 16 << 20
@@ -117,25 +154,42 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 // Handshake identifies one meter's session stream.
 type Handshake struct {
 	Version byte
+	Flags   byte
 	MeterID uint64
 }
 
-// handshakeLen is the exact payload size of an 'H' frame.
-const handshakeLen = 9
+// Sequenced reports whether the handshake requested a sequenced,
+// acknowledged session.
+func (hs Handshake) Sequenced() bool { return hs.Flags&FlagSequenced != 0 }
+
+// Handshake payload sizes: v1 is version|meterID, v2 inserts a flags byte.
+const (
+	handshakeLenV1 = 9
+	handshakeLenV2 = 10
+)
 
 // WriteHandshake opens a session stream by sending the 'H' frame for the
-// given meter at the current protocol version. It must precede every other
-// frame on a multi-meter connection.
+// given meter at the current protocol version with no flags set. It must
+// precede every other frame on a multi-meter connection.
 func WriteHandshake(w io.Writer, meterID uint64) error {
-	var payload [handshakeLen]byte
+	return WriteHandshakeFlags(w, meterID, 0)
+}
+
+// WriteHandshakeFlags is WriteHandshake with explicit v2 flag bits —
+// FlagSequenced opts the session into acknowledged, exactly-once ingest.
+func WriteHandshakeFlags(w io.Writer, meterID uint64, flags byte) error {
+	var payload [handshakeLenV2]byte
 	payload[0] = ProtocolVersion
-	binary.BigEndian.PutUint64(payload[1:], meterID)
+	payload[1] = flags
+	binary.BigEndian.PutUint64(payload[2:], meterID)
 	return writeFrame(w, FrameHandshake, payload[:])
 }
 
 // ReadHandshake reads and validates the 'H' frame that must open a session
-// stream. Truncated or mistyped frames surface as ErrBadHandshake;
-// incompatible versions as ErrVersionMismatch.
+// stream, accepting both the v1 (flag-less) and v2 shapes. Truncated or
+// mistyped frames surface as ErrBadHandshake; incompatible versions as
+// ErrVersionMismatch; unknown flag bits as ErrBadHandshake (a client that
+// needs semantics this server lacks must not be half-understood).
 func ReadHandshake(r io.Reader) (Handshake, error) {
 	typ, payload, err := readFrame(r)
 	if err != nil {
@@ -144,24 +198,60 @@ func ReadHandshake(r io.Reader) (Handshake, error) {
 	if typ != FrameHandshake {
 		return Handshake{}, fmt.Errorf("%w: got frame type %#x, want 'H'", ErrBadHandshake, typ)
 	}
-	if len(payload) != handshakeLen {
-		return Handshake{}, fmt.Errorf("%w: payload of %d bytes, want %d", ErrBadHandshake, len(payload), handshakeLen)
-	}
-	hs := Handshake{
-		Version: payload[0],
-		MeterID: binary.BigEndian.Uint64(payload[1:]),
-	}
-	if hs.Version != ProtocolVersion {
-		return hs, fmt.Errorf("%w: peer speaks v%d, server speaks v%d", ErrVersionMismatch, hs.Version, ProtocolVersion)
+	var hs Handshake
+	switch len(payload) {
+	case handshakeLenV1:
+		hs.Version = payload[0]
+		hs.MeterID = binary.BigEndian.Uint64(payload[1:])
+		if hs.Version != 1 {
+			return hs, fmt.Errorf("%w: peer speaks v%d, server speaks v%d", ErrVersionMismatch, hs.Version, ProtocolVersion)
+		}
+	case handshakeLenV2:
+		hs.Version = payload[0]
+		hs.Flags = payload[1]
+		hs.MeterID = binary.BigEndian.Uint64(payload[2:])
+		if hs.Version != ProtocolVersion {
+			return hs, fmt.Errorf("%w: peer speaks v%d, server speaks v%d", ErrVersionMismatch, hs.Version, ProtocolVersion)
+		}
+		if hs.Flags&^flagsKnown != 0 {
+			return hs, fmt.Errorf("%w: unknown flag bits %#x", ErrBadHandshake, hs.Flags&^flagsKnown)
+		}
+	default:
+		return Handshake{}, fmt.Errorf("%w: payload of %d bytes, want %d or %d", ErrBadHandshake, len(payload), handshakeLenV1, handshakeLenV2)
 	}
 	return hs, nil
 }
 
+// ackLen is the exact payload size of an 'A' frame.
+const ackLen = 8
+
+// AppendAckFrame appends the complete 'A' frame for seq to buf — the
+// server's single-write ack path.
+func AppendAckFrame(buf []byte, seq uint64) []byte {
+	var p [5 + ackLen]byte
+	p[0] = FrameAck
+	binary.BigEndian.PutUint32(p[1:5], ackLen)
+	binary.BigEndian.PutUint64(p[5:], seq)
+	return append(buf, p[:]...)
+}
+
+// DecodeAck decodes an 'A' frame payload into the acked sequence number.
+func DecodeAck(payload []byte) (uint64, error) {
+	if len(payload) != ackLen {
+		return 0, fmt.Errorf("transport: ack payload of %d bytes, want %d", len(payload), ackLen)
+	}
+	return binary.BigEndian.Uint64(payload), nil
+}
+
 // Event is one decoded protocol frame, as produced by Decoder.Next.
 type Event struct {
-	// Type is the frame type: FrameTable, FrameSymbol or FrameEnd.
+	// Type is the frame type: FrameTable, FrameSymbol, FrameSeqTable,
+	// FrameSeqSymbol or FrameEnd.
 	Type byte
-	// Table is set for FrameTable events.
+	// Seq is the batch sequence number for FrameSeqTable and FrameSeqSymbol
+	// events; zero otherwise.
+	Seq uint64
+	// Table is set for FrameTable and FrameSeqTable events.
 	Table *symbolic.Table
 	// Points is set for FrameSymbol events: the batch's symbols with their
 	// reconstructed window-end timestamps. The slice aliases the Decoder's
@@ -204,6 +294,13 @@ type Decoder struct {
 // NewDecoder wraps a reader positioned after any handshake.
 func NewDecoder(r io.Reader) *Decoder { return &Decoder{fr: FrameReader{r: r}} }
 
+// TableEstablished marks the stream's symbol-before-table precondition as
+// met out of band. A reconnecting sequenced session resumes against the
+// table its meter already committed — the server seeds the fresh decoder
+// instead of making the client re-announce a table the handshake's
+// high-water mark proves is durable.
+func (d *Decoder) TableEstablished() { d.tables++ }
+
 // Next decodes one frame. It returns io.EOF only on a clean stream end
 // between frames; an FrameEnd event signals orderly protocol shutdown.
 //
@@ -221,30 +318,33 @@ func (d *Decoder) Next() (Event, error) {
 		}
 		d.tables++
 		return Event{Type: FrameTable, Table: t}, nil
-	case FrameSymbol:
-		if d.tables == 0 {
-			return Event{}, ErrSymbolBeforeTable
+	case FrameSeqTable:
+		if len(payload) < 8 {
+			return Event{}, errors.New("transport: short sequenced table frame")
 		}
-		if len(payload) < 16 {
-			return Event{}, errors.New("transport: short symbol frame")
-		}
-		firstT := int64(binary.BigEndian.Uint64(payload[0:8]))
-		window := int64(binary.BigEndian.Uint64(payload[8:16]))
-		if window <= 0 {
-			return Event{}, errors.New("transport: bad window in symbol frame")
-		}
-		d.syms, err = symbolic.UnpackInto(d.syms, payload[16:])
+		seq := binary.BigEndian.Uint64(payload[0:8])
+		t, err := symbolic.UnmarshalTable(payload[8:])
 		if err != nil {
-			return Event{}, fmt.Errorf("transport: bad symbol frame: %w", err)
+			return Event{}, fmt.Errorf("transport: bad table frame: %w", err)
 		}
-		if cap(d.pts) < len(d.syms) {
-			d.pts = make([]symbolic.SymbolPoint, len(d.syms))
-		}
-		pts := d.pts[:len(d.syms)]
-		for i, sym := range d.syms {
-			pts[i] = symbolic.SymbolPoint{T: firstT + int64(i)*window, S: sym}
+		d.tables++
+		return Event{Type: FrameSeqTable, Seq: seq, Table: t}, nil
+	case FrameSymbol:
+		pts, err := d.decodeBatch(payload)
+		if err != nil {
+			return Event{}, err
 		}
 		return Event{Type: FrameSymbol, Points: pts}, nil
+	case FrameSeqSymbol:
+		if len(payload) < 8 {
+			return Event{}, errors.New("transport: short sequenced symbol frame")
+		}
+		seq := binary.BigEndian.Uint64(payload[0:8])
+		pts, err := d.decodeBatch(payload[8:])
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Type: FrameSeqSymbol, Seq: seq, Points: pts}, nil
 	case FrameEnd:
 		return Event{Type: FrameEnd}, nil
 	case FrameHandshake:
@@ -252,6 +352,35 @@ func (d *Decoder) Next() (Event, error) {
 	default:
 		return Event{}, fmt.Errorf("%w: %#x", ErrUnknownFrame, typ)
 	}
+}
+
+// decodeBatch decodes the firstT | window | packed body shared by 'S' and
+// 'D' frames into the reusable point scratch.
+func (d *Decoder) decodeBatch(body []byte) ([]symbolic.SymbolPoint, error) {
+	if d.tables == 0 {
+		return nil, ErrSymbolBeforeTable
+	}
+	if len(body) < 16 {
+		return nil, errors.New("transport: short symbol frame")
+	}
+	firstT := int64(binary.BigEndian.Uint64(body[0:8]))
+	window := int64(binary.BigEndian.Uint64(body[8:16]))
+	if window <= 0 {
+		return nil, errors.New("transport: bad window in symbol frame")
+	}
+	var err error
+	d.syms, err = symbolic.UnpackInto(d.syms, body[16:])
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad symbol frame: %w", err)
+	}
+	if cap(d.pts) < len(d.syms) {
+		d.pts = make([]symbolic.SymbolPoint, len(d.syms))
+	}
+	pts := d.pts[:len(d.syms)]
+	for i, sym := range d.syms {
+		pts[i] = symbolic.SymbolPoint{T: firstT + int64(i)*window, S: sym}
+	}
+	return pts, nil
 }
 
 // Sensor encodes raw measurements and streams table + symbol frames.

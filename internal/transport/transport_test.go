@@ -580,3 +580,156 @@ func TestSensorSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state Sensor.Push allocates %.1f times per run, want 0", allocs)
 	}
 }
+
+// --- Protocol v2: flags handshake, acks, sequenced frames -----------------
+
+func TestHandshakeV1StillAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	payload := make([]byte, 9)
+	payload[0] = 1 // v1: version | meterID, no flags byte
+	binary.BigEndian.PutUint64(payload[1:], 42)
+	buf.Write([]byte{FrameHandshake, 0, 0, 0, 9})
+	buf.Write(payload)
+	hs, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatalf("v1 handshake refused: %v", err)
+	}
+	if hs.Version != 1 || hs.MeterID != 42 || hs.Sequenced() {
+		t.Fatalf("hs = %+v, want v1 meter 42 unsequenced", hs)
+	}
+}
+
+func TestHandshakeFlagsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshakeFlags(&buf, 7, FlagSequenced); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Version != ProtocolVersion || hs.MeterID != 7 || !hs.Sequenced() {
+		t.Fatalf("hs = %+v, want v%d meter 7 sequenced", hs, ProtocolVersion)
+	}
+}
+
+func TestHandshakeUnknownFlagBitsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	payload := make([]byte, 10)
+	payload[0] = ProtocolVersion
+	payload[1] = FlagSequenced | 0x80
+	binary.BigEndian.PutUint64(payload[2:], 1)
+	buf.Write([]byte{FrameHandshake, 0, 0, 0, 10})
+	buf.Write(payload)
+	if _, err := ReadHandshake(&buf); !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("err = %v, want ErrBadHandshake for unknown flag bits", err)
+	}
+}
+
+func TestAckFrameRoundTrip(t *testing.T) {
+	frame := AppendAckFrame(nil, 0xCAFEBABE12345678)
+	fr := NewFrameReader(bytes.NewReader(frame))
+	typ, payload, err := fr.Next()
+	if err != nil || typ != FrameAck {
+		t.Fatalf("frame = (%#x, %v), want 'A'", typ, err)
+	}
+	seq, err := DecodeAck(payload)
+	if err != nil || seq != 0xCAFEBABE12345678 {
+		t.Fatalf("DecodeAck = (%#x, %v)", seq, err)
+	}
+	if _, err := DecodeAck(payload[:4]); err == nil {
+		t.Fatal("truncated ack payload decoded")
+	}
+}
+
+func TestDecoderSequencedFrames(t *testing.T) {
+	table := testTable(t)
+	var buf bytes.Buffer
+
+	// 'U' seq=1 carrying the table.
+	body := symbolic.MarshalTable(table)
+	hdr := []byte{FrameSeqTable, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(8+len(body)))
+	buf.Write(hdr)
+	var seq8 [8]byte
+	binary.BigEndian.PutUint64(seq8[:], 1)
+	buf.Write(seq8[:])
+	buf.Write(body)
+
+	// 'D' seq=2: firstT=100, window=10, three symbols.
+	syms := []symbolic.Symbol{
+		symbolic.NewSymbol(1, table.Level()),
+		symbolic.NewSymbol(2, table.Level()),
+		symbolic.NewSymbol(3, table.Level()),
+	}
+	packed, err := symbolic.Pack(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhdr := []byte{FrameSeqSymbol, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(dhdr[1:5], uint32(24+len(packed)))
+	buf.Write(dhdr)
+	binary.BigEndian.PutUint64(seq8[:], 2)
+	buf.Write(seq8[:])
+	binary.BigEndian.PutUint64(seq8[:], 100)
+	buf.Write(seq8[:])
+	binary.BigEndian.PutUint64(seq8[:], 10)
+	buf.Write(seq8[:])
+	buf.Write(packed)
+
+	dec := NewDecoder(&buf)
+	ev, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != FrameSeqTable || ev.Seq != 1 || ev.Table == nil {
+		t.Fatalf("first event = %+v, want seq table seq=1", ev)
+	}
+	ev, err = dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != FrameSeqSymbol || ev.Seq != 2 || len(ev.Points) != 3 {
+		t.Fatalf("second event = %+v, want seq batch seq=2 with 3 points", ev)
+	}
+	for i, p := range ev.Points {
+		if p.T != 100+int64(i)*10 {
+			t.Fatalf("point %d at t=%d, want %d", i, p.T, 100+int64(i)*10)
+		}
+	}
+}
+
+func TestDecoderSeqSymbolBeforeTable(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []byte{FrameSeqSymbol, 0, 0, 0, 24}
+	buf.Write(hdr)
+	buf.Write(make([]byte, 24))
+	if _, err := NewDecoder(&buf).Next(); !errors.Is(err, ErrSymbolBeforeTable) {
+		t.Fatalf("err = %v, want ErrSymbolBeforeTable", err)
+	}
+}
+
+func TestRetryablePredicate(t *testing.T) {
+	for _, err := range []error{ErrServerDegraded, ErrServerOverloaded, ErrServerDraining, ErrMeterBusy} {
+		if !Retryable(err) {
+			t.Fatalf("Retryable(%v) = false, want true", err)
+		}
+	}
+	for code, sentinel := range map[byte]error{
+		VerdictDegraded:   ErrServerDegraded,
+		VerdictOverloaded: ErrServerOverloaded,
+		VerdictDraining:   ErrServerDraining,
+		VerdictBusy:       ErrMeterBusy,
+	} {
+		qe := &QueryError{Code: code, Msg: "x"}
+		if !errors.Is(qe, sentinel) {
+			t.Fatalf("QueryError code %d does not match its sentinel", code)
+		}
+		if !Retryable(qe) {
+			t.Fatalf("Retryable(code %d) = false, want true", code)
+		}
+	}
+	if Retryable(&QueryError{Code: QErrInternal}) || Retryable(io.EOF) || Retryable(nil) {
+		t.Fatal("non-retryable error classified retryable")
+	}
+}

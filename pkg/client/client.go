@@ -45,7 +45,24 @@ var (
 	// safe — and expected — to retry after a backoff (see Backoff.Retry);
 	// queries keep working against the same server throughout.
 	ErrDegraded = transport.ErrServerDegraded
+	// ErrOverloaded reports the server refusing a batch because the shard's
+	// ingest memory budget is exhausted. Nothing was stored; retryable.
+	ErrOverloaded = transport.ErrServerOverloaded
+	// ErrDraining reports a server in graceful shutdown refusing new
+	// sessions. Retryable — against the next server instance.
+	ErrDraining = transport.ErrServerDraining
+	// ErrMeterBusy reports a second session for a meter whose previous
+	// session is still registered. Retryable — the idle reaper frees the
+	// meter once the stale session times out.
+	ErrMeterBusy = transport.ErrMeterBusy
 )
+
+// Retryable reports whether err is one of the server's typed
+// nothing-was-written refusals (degraded, overloaded, draining, busy) — the
+// family Backoff.Retry waits out. Raw transport errors are NOT retryable
+// here: without a sequenced Session the client cannot know whether the
+// server committed the write before the connection died.
+func Retryable(err error) bool { return transport.Retryable(err) }
 
 // Agg is an order-insensitive aggregate over a time range, mirroring the
 // engine's: Min and Max are meaningful only when Count > 0.

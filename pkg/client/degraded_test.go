@@ -184,8 +184,10 @@ func TestIngestDegradedEndToEnd(t *testing.T) {
 }
 
 // TestBackoffStopsOnOtherErrors pins Backoff.Retry's contract: only the
-// typed ErrDegraded is worth waiting out; any other error — and success —
-// returns immediately.
+// typed retryable refusals — degraded, overloaded, draining, busy — are
+// worth waiting out; any other error — and success — returns immediately.
+// Raw transport errors must NOT retry: without a sequenced Session the
+// caller cannot know whether the server committed the write.
 func TestBackoffStopsOnOtherErrors(t *testing.T) {
 	calls := 0
 	boom := errors.New("boom")
@@ -194,18 +196,22 @@ func TestBackoffStopsOnOtherErrors(t *testing.T) {
 		return boom
 	})
 	if !errors.Is(err, boom) || calls != 1 {
-		t.Fatalf("non-degraded error: %v after %d calls, want boom after 1", err, calls)
+		t.Fatalf("non-retryable error: %v after %d calls, want boom after 1", err, calls)
 	}
-	calls = 0
-	err = client.Backoff{Min: time.Millisecond, Attempts: 10}.Retry(func() error {
-		calls++
-		if calls < 3 {
-			return client.ErrDegraded
+	for _, sentinel := range []error{
+		client.ErrDegraded, client.ErrOverloaded, client.ErrDraining, client.ErrMeterBusy,
+	} {
+		calls = 0
+		err = client.Backoff{Min: time.Millisecond, Attempts: 10}.Retry(func() error {
+			calls++
+			if calls < 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Fatalf("%v-then-success: %v after %d calls, want nil after 3", sentinel, err, calls)
 		}
-		return nil
-	})
-	if err != nil || calls != 3 {
-		t.Fatalf("degraded-then-success: %v after %d calls, want nil after 3", err, calls)
 	}
 	calls = 0
 	err = client.Backoff{Min: time.Millisecond, Attempts: 4}.Retry(func() error {
@@ -214,5 +220,8 @@ func TestBackoffStopsOnOtherErrors(t *testing.T) {
 	})
 	if !errors.Is(err, client.ErrDegraded) || calls != 4 {
 		t.Fatalf("exhausted attempts: %v after %d calls, want ErrDegraded after 4", err, calls)
+	}
+	if !client.Retryable(client.ErrOverloaded) || client.Retryable(boom) || client.Retryable(nil) {
+		t.Fatal("Retryable predicate drifted from the Backoff contract")
 	}
 }

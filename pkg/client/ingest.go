@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -199,42 +200,57 @@ func (ing *Ingestor) readVerdict(atClose bool) error {
 	return nil
 }
 
-// Backoff retries an operation while the server reports itself degraded
-// (ErrDegraded): exponential delay from Min to Max, at most Attempts tries.
-// Zero fields pick defaults (10ms, 1s, 10). Any error other than
-// ErrDegraded — including success — returns immediately: only the typed
-// "retry later, nothing was written" verdict is worth waiting out.
+// Backoff retries an operation while the server answers with a typed
+// retryable refusal — degraded storage, shard overload, graceful drain, or
+// a still-registered meter (see Retryable): at most Attempts tries with
+// full-jitter exponential delay, each sleep drawn uniformly from
+// [0, min(Max, Min·2ⁱ)]. Zero fields pick defaults (10ms, 1s, 10). Any
+// other error — including success — returns immediately: only the typed
+// "retry later, nothing was written" verdicts are worth waiting out. The
+// jitter is what keeps a refused fleet from reconverging in lockstep: an
+// overloaded shard that refuses a thousand sensors at once must not get all
+// thousand back on the same tick.
 type Backoff struct {
 	Min      time.Duration
 	Max      time.Duration
 	Attempts int
 }
 
-// Retry runs fn under the backoff policy and returns its last error.
-func (b Backoff) Retry(fn func() error) error {
-	min, max, attempts := b.Min, b.Max, b.Attempts
+func (b Backoff) attempts() int {
+	if b.Attempts <= 0 {
+		return 10
+	}
+	return b.Attempts
+}
+
+// delay returns the full-jitter sleep before retry attempt i (0-based).
+func (b Backoff) delay(i int) time.Duration {
+	min, max := b.Min, b.Max
 	if min <= 0 {
 		min = 10 * time.Millisecond
 	}
 	if max <= 0 {
 		max = time.Second
 	}
-	if attempts <= 0 {
-		attempts = 10
+	cap := min << uint(i)
+	if cap > max || cap <= 0 { // <= 0: shift overflow
+		cap = max
 	}
-	delay := min
+	return time.Duration(rand.Int64N(int64(cap) + 1))
+}
+
+// Retry runs fn under the backoff policy and returns its last error.
+func (b Backoff) Retry(fn func() error) error {
+	attempts := b.attempts()
 	var err error
 	for i := 0; i < attempts; i++ {
-		if err = fn(); err == nil || !errors.Is(err, ErrDegraded) {
+		if err = fn(); err == nil || !Retryable(err) {
 			return err
 		}
 		if i == attempts-1 {
 			break
 		}
-		time.Sleep(delay)
-		if delay *= 2; delay > max {
-			delay = max
-		}
+		time.Sleep(b.delay(i))
 	}
 	return err
 }
