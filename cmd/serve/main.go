@@ -40,11 +40,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"symmeter/internal/metrics"
 	"symmeter/internal/profiling"
 	"symmeter/internal/query"
 	"symmeter/internal/server"
@@ -63,28 +66,29 @@ func main() {
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:0", "listen address")
-		meters     = fs.Int("meters", 4, "number of concurrent simulated meters")
-		shards     = fs.Int("shards", 16, "store shard count")
-		days       = fs.Int("days", 1, "days of live data each meter streams after its 2 training days")
-		seconds    = fs.Int64("seconds", 0, "cap each day to its first N seconds (0 = whole day)")
-		seed       = fs.Int64("seed", 1, "dataset seed (meter i uses seed+i)")
-		k          = fs.Int("k", 16, "alphabet size")
-		window     = fs.Int64("window", 900, "vertical window seconds")
-		relearn    = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
-		qfrom      = fs.Int64("qfrom", 0, "query range start (seconds since the stream epoch)")
-		qto        = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
-		qworkers   = fs.Int("qworkers", 0, "fleet-query worker pool size (0 = GOMAXPROCS)")
-		hist       = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
-		queryAddr  = fs.String("query-addr", "", "additional query-only listen address (queries are always served on -addr too)")
-		idleTO     = fs.Duration("idle-timeout", 2*time.Minute, "reap connections silent past this; 0 disables")
-		writeTO    = fs.Duration("write-timeout", 0, "fail server response writes blocked past this (0 = 30s default, negative disables)")
-		budget     = fs.Int64("ingest-budget", 0, "per-shard in-flight ingest byte budget; over-budget batches get a typed retryable refusal (0 = unlimited)")
-		queryConc  = fs.Int("query-conc", 0, "max concurrently executing queries per connection (0 = default)")
-		dataDir    = fs.String("data-dir", "", "durable storage directory (WAL + segments); empty = in-memory only")
-		fsyncMode  = fs.String("fsync", "group", "WAL durability with -data-dir: off, group or always")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
+		meters      = fs.Int("meters", 4, "number of concurrent simulated meters")
+		shards      = fs.Int("shards", 16, "store shard count")
+		days        = fs.Int("days", 1, "days of live data each meter streams after its 2 training days")
+		seconds     = fs.Int64("seconds", 0, "cap each day to its first N seconds (0 = whole day)")
+		seed        = fs.Int64("seed", 1, "dataset seed (meter i uses seed+i)")
+		k           = fs.Int("k", 16, "alphabet size")
+		window      = fs.Int64("window", 900, "vertical window seconds")
+		relearn     = fs.Bool("relearn", false, "rebuild and resend each meter's table daily (adaptive path)")
+		qfrom       = fs.Int64("qfrom", 0, "query range start (seconds since the stream epoch)")
+		qto         = fs.Int64("qto", 0, "query range end, exclusive (0 = unbounded)")
+		qworkers    = fs.Int("qworkers", 0, "fleet-query worker pool size (0 = GOMAXPROCS)")
+		hist        = fs.Bool("hist", false, "also print the fleet-wide symbol histogram for the query range")
+		queryAddr   = fs.String("query-addr", "", "additional query-only listen address (queries are always served on -addr too)")
+		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "reap connections silent past this; 0 disables")
+		writeTO     = fs.Duration("write-timeout", 0, "fail server response writes blocked past this (0 = 30s default, negative disables)")
+		budget      = fs.Int64("ingest-budget", 0, "per-shard in-flight ingest byte budget; over-budget batches get a typed retryable refusal (0 = unlimited)")
+		queryConc   = fs.Int("query-conc", 0, "max concurrently executing queries per connection (0 = default)")
+		metricsAddr = fs.String("metrics-addr", "", "telemetry HTTP listen address (/metrics, /healthz, /debug/pprof); empty disables")
+		dataDir     = fs.String("data-dir", "", "durable storage directory (WAL + segments); empty = in-memory only")
+		fsyncMode   = fs.String("fsync", "group", "WAL durability with -data-dir: off, group or always")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -113,6 +117,10 @@ func run(args []string, out io.Writer) (err error) {
 		Seed:          *seed,
 		RelearnPerDay: *relearn,
 	}
+	// One registry backs everything this process records — the engine's WAL
+	// recorders and health gauges, the service's session counters and latency
+	// quantiles — and is what -metrics-addr exposes.
+	reg := metrics.New()
 	// With -data-dir, recover the store from disk and interpose the WAL +
 	// segment engine between the sessions and the store.
 	var eng *storage.Engine
@@ -122,7 +130,7 @@ func run(args []string, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		eng, err = storage.Open(storage.Options{Dir: *dataDir, Shards: *shards, Sync: mode})
+		eng, err = storage.Open(storage.Options{Dir: *dataDir, Shards: *shards, Sync: mode, Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -146,6 +154,7 @@ func run(args []string, out io.Writer) (err error) {
 		WriteTimeout:     *writeTO,
 		IngestBudget:     *budget,
 		QueryConcurrency: *queryConc,
+		Metrics:          reg,
 	})
 	if eng != nil {
 		svc.SetIngest(eng)
@@ -172,6 +181,16 @@ func run(args []string, out io.Writer) (err error) {
 		}
 		qbound = qb
 		fmt.Fprintf(out, "query listener on %s\n", qb)
+	}
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listen: %w", err)
+		}
+		msrv := &http.Server{Handler: telemetryMux(reg, eng)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(out, "telemetry on http://%s/metrics\n", mln.Addr())
 	}
 
 	// SIGINT/SIGTERM drain cleanly — finish reading what connected sensors
@@ -314,6 +333,38 @@ func run(args []string, out io.Writer) (err error) {
 	return nil
 }
 
+// telemetryMux assembles the -metrics-addr HTTP surface: /metrics in
+// Prometheus text format off the process-wide registry, /healthz mirroring
+// the storage health machine (200 while Healthy, 503 while Degraded or
+// Recovering — a load balancer should stop routing ingest at a degraded
+// node, which serves queries only), and the live pprof handlers. A purely
+// in-memory run (no -data-dir) has no durability to lose, so its /healthz is
+// always 200.
+func telemetryMux(reg *metrics.Registry, eng *storage.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if eng == nil {
+			fmt.Fprintln(w, "ok: in-memory")
+			return
+		}
+		h := eng.Health()
+		if h.State == storage.StateHealthy {
+			fmt.Fprintf(w, "ok: %s\n", h.State)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if h.Reason != "" {
+			fmt.Fprintf(w, "unavailable: %s (%s)\n", h.State, h.Reason)
+		} else {
+			fmt.Fprintf(w, "unavailable: %s\n", h.State)
+		}
+	})
+	profiling.AttachPprof(mux)
+	return mux
+}
+
 // printHealth reports the engine's health state and fault counters — the
 // operator's view of degraded-mode behavior: "healthy" with all-zero
 // counters on a good disk, otherwise the state, its cause, and how many
@@ -350,14 +401,17 @@ func printRobustness(out io.Writer, st server.Stats) {
 // means acknowledged data may need the WAL replayed on the next start.
 func shutdown(svc *server.Service, eng *storage.Engine, out io.Writer) error {
 	svc.BeginDrain()
-	st := svc.Stats()
-	if !svc.AwaitSessions(st.Sessions, 5*time.Second) {
+	if !svc.AwaitSessions(svc.Stats().Sessions, 5*time.Second) {
 		fmt.Fprintln(out, "warning: sessions still active after drain timeout; closing them")
 	}
-	printRobustness(out, svc.Stats())
 	svc.Close()
+	// One snapshot after the drain settles, shared by every line below —
+	// separate Stats() calls here could disagree with each other while the
+	// reaped sessions' final counter updates land.
+	st := svc.Stats()
+	printRobustness(out, st)
 	if eng != nil {
-		printHealth(out, eng, svc.Stats().DegradedSessions)
+		printHealth(out, eng, st.DegradedSessions)
 		if err := eng.Close(); err != nil {
 			return fmt.Errorf("storage flush on shutdown: %w", err)
 		}

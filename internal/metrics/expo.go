@@ -1,0 +1,148 @@
+// Prometheus text exposition format, hand-rolled (version 0.0.4 line
+// grammar): one # HELP and # TYPE line per family, then one sample line per
+// series. Histograms emit cumulative le buckets plus _sum/_count; summaries
+// emit the P² quantile series plus _sum/_count. The encoder is the scrape
+// path — it may allocate and takes the registration lock, but it reads every
+// sample through the same atomics the hot path writes, so a scrape racing a
+// million records is just a slightly stale snapshot, never a torn one.
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus writes every registered family to w in the text exposition
+// format. Families appear in registration order; series within a family in
+// their registration order (quantile/le series in increasing order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	buf := make([]byte, 0, 4096)
+	for _, f := range fams {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, escapeHelp(f.help)...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind...)
+		buf = append(buf, '\n')
+		for _, s := range f.series {
+			buf = appendSeries(buf, f, s)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline; quotes
+// are legal there).
+func escapeHelp(h string) string {
+	out := make([]byte, 0, len(h))
+	for i := 0; i < len(h); i++ {
+		switch c := h[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// appendSeries renders one series' sample line(s).
+func appendSeries(buf []byte, f *family, s *series) []byte {
+	switch {
+	case s.counter != nil:
+		return appendSample(buf, f.name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		return appendSample(buf, f.name, s.labels, float64(s.gauge.Value()))
+	case s.fn != nil:
+		return appendSample(buf, f.name, s.labels, s.fn())
+	case s.lat != nil:
+		if f.kind == kindSummary {
+			return appendSummary(buf, f.name, s.lat)
+		}
+		return appendHistogram(buf, f.name, s.lat)
+	}
+	return buf
+}
+
+// appendSample renders `name{labels} value\n`.
+func appendSample(buf []byte, name, labels string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+	return append(buf, '\n')
+}
+
+// appendSummary renders the P² quantile series plus _sum and _count. The
+// count/sum pair comes from the histogram-side atomics, so it covers every
+// sample — including the ones try-lock contention kept out of the
+// estimators.
+func appendSummary(buf []byte, name string, l *Latency) []byte {
+	l.p2mu.Lock()
+	var qv [3]float64
+	for i := range l.p2 {
+		qv[i] = l.p2[i].Value() / 1e9
+	}
+	l.p2mu.Unlock()
+	for i, q := range latQuantiles {
+		buf = append(buf, name...)
+		buf = append(buf, `{quantile="`...)
+		buf = strconv.AppendFloat(buf, q, 'g', -1, 64)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendFloat(buf, qv[i], 'g', -1, 64)
+		buf = append(buf, '\n')
+	}
+	buf = appendSample(buf, name+"_sum", "", l.SumSeconds())
+	buf = append(buf, name+"_count "...)
+	buf = strconv.AppendInt(buf, l.Count(), 10)
+	return append(buf, '\n')
+}
+
+// appendHistogram renders the cumulative le buckets plus _sum and _count.
+// Empty trailing buckets are still emitted — Prometheus rate() needs a
+// stable series set — but the bound list is fixed and small (27 lines).
+func appendHistogram(buf []byte, name string, l *Latency) []byte {
+	var cum int64
+	for i := 0; i <= latBuckets; i++ {
+		cum += l.buckets[i].Load()
+		buf = append(buf, name...)
+		buf = append(buf, `_bucket{le="`...)
+		if i == latBuckets {
+			buf = append(buf, "+Inf"...)
+		} else {
+			buf = strconv.AppendFloat(buf, upperBoundSeconds(i), 'g', -1, 64)
+		}
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = appendSample(buf, name+"_sum", "", l.SumSeconds())
+	buf = append(buf, name+"_count "...)
+	// The histogram's count is the bucket total, which may momentarily lag
+	// the count atomic under concurrent recording; using the cumulative sum
+	// keeps le="+Inf" == _count, which scrapers validate.
+	buf = strconv.AppendInt(buf, cum, 10)
+	return append(buf, '\n')
+}
+
+// Handler returns the /metrics HTTP handler for the registry.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

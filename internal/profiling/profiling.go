@@ -4,6 +4,8 @@
 package profiling
 
 import (
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,6 +29,18 @@ func StartCPU(path string) (stop func(), err error) {
 		pprof.StopCPUProfile()
 		f.Close()
 	}, nil
+}
+
+// AttachPprof mounts the live pprof surface (/debug/pprof/*) on mux — the
+// explicit twin of net/http/pprof's DefaultServeMux side effect, so the
+// telemetry listener gets the handlers without any package importing
+// net/http/pprof for its init.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 }
 
 // WriteHeap garbage-collects and writes a heap profile to path. With an

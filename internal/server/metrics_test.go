@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"symmeter/internal/metrics"
+)
+
+// TestStatsRegistryBacked proves the Stats snapshot and the /metrics
+// exposition read the same counters: after real fleet traffic, every Stats
+// field must appear in the registry scrape with the identical value.
+func TestStatsRegistryBacked(t *testing.T) {
+	reg := metrics.New()
+	svc := New(Config{Shards: 4, Metrics: reg})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	rep, err := RunFleet(addr.String(), FleetConfig{
+		Meters: 3, Days: 1, SecondsPerDay: 600, Window: 60, Seed: 1, DisableGaps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.AwaitSessions(int64(len(rep.Meters)), 10*time.Second) {
+		t.Fatal("sessions did not settle")
+	}
+
+	if svc.Metrics() != reg {
+		t.Fatal("Metrics() must return the configured registry")
+	}
+	st := svc.Stats()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for name, v := range map[string]int64{
+		"symmeter_ingest_sessions_total":      st.Sessions,
+		"symmeter_ingest_sessions_active":     st.Active,
+		"symmeter_ingest_symbols_total":       st.Symbols,
+		"symmeter_net_bytes_in_total":         st.BytesIn,
+		"symmeter_query_sessions_total":       st.QuerySessions,
+		"symmeter_accept_retries_total":       st.AcceptRetries,
+		"symmeter_drain_refusals_total":       st.DrainRefusals,
+		"symmeter_write_deadline_reaps_total": st.WriteDeadlineReaps,
+	} {
+		want := fmt.Sprintf("%s %d\n", name, v)
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q (Stats and registry disagree)", strings.TrimSpace(want))
+		}
+	}
+	if st.Sessions != 3 || st.Symbols == 0 || st.BytesIn == 0 {
+		t.Fatalf("implausible stats after fleet run: %+v", st)
+	}
+	// Batch commits were timed: count equals committed batches (>0), and the
+	// summary carries P² quantile samples for them.
+	if !strings.Contains(out, `symmeter_ingest_batch_seconds{quantile="0.95"}`) {
+		t.Error("scrape missing the ingest batch p95 series")
+	}
+	if strings.Contains(out, "symmeter_ingest_batch_seconds_count 0\n") {
+		t.Error("ingest batch latency recorder saw no samples")
+	}
+	// Per-shard admission gauges exist for every shard and read 0 at rest.
+	for shard := 0; shard < 4; shard++ {
+		want := fmt.Sprintf("symmeter_ingest_inflight_bytes{shard=\"%d\"} 0\n", shard)
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", strings.TrimSpace(want))
+		}
+	}
+}
+
+// TestPrivateRegistryDefault: a Service without Config.Metrics still records
+// (into its own registry), so hot paths never branch on telemetry.
+func TestPrivateRegistryDefault(t *testing.T) {
+	svc := New(Config{Shards: 2})
+	if svc.Metrics() == nil {
+		t.Fatal("nil Config.Metrics must yield a private registry")
+	}
+	var buf bytes.Buffer
+	if err := svc.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "symmeter_ingest_sessions_total 0") {
+		t.Fatal("private registry missing the service families")
+	}
+}

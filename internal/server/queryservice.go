@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"symmeter/internal/transport"
 )
@@ -50,7 +51,7 @@ func (s *Service) runQuerySession(conn net.Conn, br *bufio.Reader) error {
 	if s.draining.Load() {
 		// Graceful drain: a new query session gets a typed, retryable
 		// refusal addressed to its first request instead of a bare close.
-		s.drainRefusals.Add(1)
+		s.met.drainRefusals.Inc()
 		fr := transport.NewFrameReader(br)
 		typ, payload, err := fr.Next()
 		if err != nil || typ != transport.FrameQuery {
@@ -74,7 +75,9 @@ func (s *Service) runQuerySession(conn net.Conn, br *bufio.Reader) error {
 				if h == nil {
 					err = errors.New("server: no query handler configured")
 				} else {
+					start := time.Now()
 					err = h.ServeQuery(req, &res)
+					s.met.queryLat.Since(start)
 				}
 				if err == nil {
 					buf, err = transport.AppendQueryResultFrame(buf[:0], &res)
@@ -97,6 +100,7 @@ func (s *Service) runQuerySession(conn net.Conn, br *bufio.Reader) error {
 	}
 
 	fr := transport.NewFrameReader(br)
+	fr.SetMetrics(s.met.framesIn)
 	for {
 		if werr, _ := writeErr.Load().(error); werr != nil {
 			return finish(nil)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symmeter/internal/metrics"
 	"symmeter/internal/symbolic"
 	"symmeter/internal/transport"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// fails, the session tears down, and WriteDeadlineReaps counts it.
 	// 0 picks a default of 30s; negative disables.
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, is the registry the service publishes its
+	// telemetry into (session/batch counters, latency recorders, per-frame
+	// transport counters) — what a /metrics endpoint scrapes. Nil creates a
+	// private registry, so the recording paths are identical either way and
+	// Stats() always works. A registry must not be shared between two
+	// Services: the series names would collide.
+	Metrics *metrics.Registry
 }
 
 // defaultWriteTimeout is the response-write deadline when the config leaves
@@ -165,20 +173,9 @@ type Service struct {
 	inflight []atomic.Int64
 	draining atomic.Bool
 
-	sessions           atomic.Int64
-	active             atomic.Int64
-	symbols            atomic.Int64
-	bytesIn            atomic.Int64
-	querySessions      atomic.Int64
-	activeQueries      atomic.Int64
-	acceptRetries      atomic.Int64
-	degradedSessions   atomic.Int64
-	sequencedSessions  atomic.Int64
-	overloadRefusals   atomic.Int64
-	drainRefusals      atomic.Int64
-	reconnectReplays   atomic.Int64
-	duplicateBatches   atomic.Int64
-	writeDeadlineReaps atomic.Int64
+	// met holds every service counter, registry-backed (see metrics.go);
+	// Stats() snapshots from the same handles the hot paths bump.
+	met *serviceMetrics
 
 	mu      sync.Mutex
 	errs    []error
@@ -207,7 +204,11 @@ func New(cfg Config) *Service {
 	if wt == 0 {
 		wt = defaultWriteTimeout
 	}
-	return &Service{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Service{
 		store:         st,
 		ingest:        st,
 		reservePoints: cfg.ReservePoints,
@@ -216,8 +217,11 @@ func New(cfg Config) *Service {
 		ingestBudget:  cfg.IngestBudget,
 		writeTimeout:  wt,
 		inflight:      make([]atomic.Int64, st.NumShards()),
+		met:           newServiceMetrics(reg),
 		closers:       make(map[net.Conn]struct{}),
 	}
+	s.registerShardGauges()
+	return s
 }
 
 // SetIngest routes session writes through ing instead of the bare store —
@@ -232,25 +236,30 @@ func (s *Service) SetQueryHandler(h QueryHandler) { s.queryHandler = h }
 // Store exposes the aggregation store for reporting and tests.
 func (s *Service) Store() *Store { return s.store }
 
-// Stats returns current counters.
+// Stats returns current counters, snapshotted from the registry-backed
+// handles the hot paths bump.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Sessions:           s.sessions.Load(),
-		Active:             s.active.Load(),
-		Symbols:            s.symbols.Load(),
-		BytesIn:            s.bytesIn.Load(),
-		QuerySessions:      s.querySessions.Load(),
-		ActiveQueries:      s.activeQueries.Load(),
-		AcceptRetries:      s.acceptRetries.Load(),
-		DegradedSessions:   s.degradedSessions.Load(),
-		SequencedSessions:  s.sequencedSessions.Load(),
-		OverloadRefusals:   s.overloadRefusals.Load(),
-		DrainRefusals:      s.drainRefusals.Load(),
-		ReconnectReplays:   s.reconnectReplays.Load(),
-		DuplicateBatches:   s.duplicateBatches.Load(),
-		WriteDeadlineReaps: s.writeDeadlineReaps.Load(),
+		Sessions:           s.met.sessions.Value(),
+		Active:             s.met.active.Value(),
+		Symbols:            s.met.symbols.Value(),
+		BytesIn:            s.met.bytesIn.Value(),
+		QuerySessions:      s.met.querySessions.Value(),
+		ActiveQueries:      s.met.activeQueries.Value(),
+		AcceptRetries:      s.met.acceptRetries.Value(),
+		DegradedSessions:   s.met.degradedSessions.Value(),
+		SequencedSessions:  s.met.sequencedSessions.Value(),
+		OverloadRefusals:   s.met.overloadRefusals.Value(),
+		DrainRefusals:      s.met.drainRefusals.Value(),
+		ReconnectReplays:   s.met.reconnectReplays.Value(),
+		DuplicateBatches:   s.met.duplicateBatches.Value(),
+		WriteDeadlineReaps: s.met.writeDeadlineReaps.Value(),
 	}
 }
+
+// Metrics returns the registry the service records into — the one from
+// Config.Metrics, or the private registry created when none was given.
+func (s *Service) Metrics() *metrics.Registry { return s.met.reg }
 
 // BeginDrain switches the service into graceful-drain mode: established
 // sessions keep their contracts, but new ingest handshakes and new query
@@ -278,7 +287,7 @@ func (s *Service) acquireIngest(meterID uint64, cost int64) error {
 	g := &s.inflight[shard]
 	if n := g.Add(cost); n > s.ingestBudget && n != cost {
 		g.Add(-cost)
-		s.overloadRefusals.Add(1)
+		s.met.overloadRefusals.Inc()
 		return fmt.Errorf("%w: shard %d has %d bytes in flight, batch of %d exceeds budget %d",
 			ErrOverloaded, shard, n-cost, cost, s.ingestBudget)
 	}
@@ -299,8 +308,11 @@ func (s *Service) writeFrame(conn net.Conn, frame []byte) error {
 		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 	}
 	_, err := conn.Write(frame)
+	if err == nil && len(frame) >= 5 {
+		s.met.framesOut.Observe(frame[0], len(frame)-5)
+	}
 	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
-		s.writeDeadlineReaps.Add(1)
+		s.met.writeDeadlineReaps.Inc()
 	}
 	return err
 }
@@ -391,7 +403,7 @@ func (s *Service) serve(ln net.Listener, queryOnly bool) {
 			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.acceptRetries.Add(1)
+			s.met.acceptRetries.Inc()
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > acceptBackoffMax {
 				backoff = acceptBackoffMax
@@ -401,7 +413,7 @@ func (s *Service) serve(ln net.Listener, queryOnly bool) {
 		backoff = acceptBackoffMin
 		// Claim an active slot before the goroutine exists so AwaitSessions
 		// can never observe an accepted-but-uncounted connection.
-		s.active.Add(1)
+		s.met.active.Add(1)
 		s.track(conn, true)
 		s.wg.Add(1)
 		go func() {
@@ -424,20 +436,20 @@ func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
 	}
 	cr := &countingReader{r: r}
 	br := bufio.NewReader(cr)
-	defer func() { s.bytesIn.Add(cr.n) }()
+	defer func() { s.met.bytesIn.Add(cr.n) }()
 
 	first, perr := br.Peek(1)
 	if perr == nil && first[0] == transport.FrameQuery {
-		s.querySessions.Add(1)
-		s.activeQueries.Add(1)
-		s.active.Add(-1)
-		defer s.activeQueries.Add(-1)
+		s.met.querySessions.Inc()
+		s.met.activeQueries.Add(1)
+		s.met.active.Add(-1)
+		defer s.met.activeQueries.Add(-1)
 		if err := s.runQuerySession(conn, br); err != nil {
 			s.recordErr(err)
 		}
 		return
 	}
-	defer s.active.Add(-1)
+	defer s.met.active.Add(-1)
 	if queryOnly {
 		// An ingest (or garbage) stream on the query port: refuse without
 		// registering a meter session. Peek errors land here too — there is
@@ -448,9 +460,9 @@ func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
 	// Ingest path. A Peek error falls through on purpose: runSession's
 	// handshake read reproduces it as the usual ErrBadHandshake-wrapped
 	// session error.
-	s.sessions.Add(1)
+	s.met.sessions.Inc()
 	symbols, err := s.runSession(conn, br)
-	s.symbols.Add(symbols)
+	s.met.symbols.Add(symbols)
 	if err != nil {
 		if code := ingestVerdictCode(err); code != 0 {
 			// The parting 'X' frame: tell the sensor *why* its stream ended —
@@ -458,7 +470,7 @@ func (s *Service) handleConn(conn net.Conn, queryOnly bool) {
 			// and retryable, before the connection closes. Best effort — a
 			// peer that already hung up just misses the hint.
 			if code == transport.VerdictDegraded {
-				s.degradedSessions.Add(1)
+				s.met.degradedSessions.Inc()
 			}
 			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
 			frame := transport.AppendQueryErrorFrame(nil, 0, code, err.Error())

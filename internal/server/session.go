@@ -58,7 +58,7 @@ func (s *Service) runSession(conn net.Conn, r io.Reader) (symbols int64, err err
 		return 0, err
 	}
 	if s.draining.Load() {
-		s.drainRefusals.Add(1)
+		s.met.drainRefusals.Inc()
 		return 0, fmt.Errorf("%w: meter %d", ErrDraining, hs.MeterID)
 	}
 	if err := s.ingest.StartSession(hs.MeterID); err != nil {
@@ -75,6 +75,7 @@ func (s *Service) runSession(conn net.Conn, r io.Reader) (symbols int64, err err
 	}
 
 	dec := transport.NewDecoder(r)
+	dec.SetFrameMetrics(s.met.framesIn)
 	for {
 		ev, err := dec.Next()
 		if errors.Is(err, io.EOF) {
@@ -97,7 +98,9 @@ func (s *Service) runSession(conn net.Conn, r io.Reader) (symbols int64, err err
 				// typed verdict goes out as the parting 'X' frame.
 				return symbols, err
 			}
+			start := time.Now()
 			n, err := s.ingest.Append(hs.MeterID, ev.Points)
+			s.met.ingestBatchLat.Since(start)
 			s.releaseIngest(hs.MeterID, cost)
 			if err != nil {
 				return symbols, err
@@ -125,10 +128,10 @@ func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64
 	if !ok {
 		return 0, fmt.Errorf("server: meter %d requested a sequenced session, ingest layer cannot sequence", meterID)
 	}
-	s.sequencedSessions.Add(1)
+	s.met.sequencedSessions.Inc()
 	hwm := si.LastSeq(meterID)
 	if hwm > 0 {
-		s.reconnectReplays.Add(1)
+		s.met.reconnectReplays.Inc()
 	}
 	var wbuf []byte
 	ack := func(seq uint64) error {
@@ -144,6 +147,7 @@ func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64
 	}
 
 	dec := transport.NewDecoder(r)
+	dec.SetFrameMetrics(s.met.framesIn)
 	if hwm > 0 {
 		// A committed high-water mark proves a table commit (a fresh meter's
 		// first committable frame is necessarily its table), so the resumed
@@ -171,7 +175,7 @@ func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64
 				return symbols, err
 			}
 			if dup {
-				s.duplicateBatches.Add(1)
+				s.met.duplicateBatches.Inc()
 			}
 			if err := ack(ev.Seq); err != nil {
 				return symbols, fmt.Errorf("server: meter %d ack write: %w", meterID, err)
@@ -184,7 +188,9 @@ func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64
 				}
 				continue
 			}
+			start := time.Now()
 			n, dup, err := si.AppendSeq(meterID, ev.Seq, ev.Points)
+			s.met.ingestBatchLat.Since(start)
 			s.releaseIngest(meterID, cost)
 			if err != nil {
 				// A refusal before anything committed keeps the session (and
@@ -199,7 +205,7 @@ func (s *Service) runSequencedSession(conn net.Conn, r io.Reader, meterID uint64
 				return symbols, err
 			}
 			if dup {
-				s.duplicateBatches.Add(1)
+				s.met.duplicateBatches.Inc()
 			}
 			symbols += int64(n)
 			if err := ack(ev.Seq); err != nil {

@@ -32,6 +32,10 @@ func NewP2Quantile(q float64) (*P2Quantile, error) {
 	}
 	e := &P2Quantile{p: q}
 	e.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	// Pre-size the bootstrap buffer so Add never allocates — estimators sit
+	// on lock-free recording paths (internal/metrics) whose AllocsPerRun
+	// pins forbid even the five startup appends from growing a slice.
+	e.init = make([]float64, 0, 5)
 	return e, nil
 }
 

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symmeter/internal/metrics"
 	"symmeter/internal/server"
 	"symmeter/internal/symbolic"
 )
@@ -71,6 +72,12 @@ type Options struct {
 	// ProbeInterval is the cadence of the background health probe that
 	// re-tests a degraded data directory (default 500ms).
 	ProbeInterval time.Duration
+	// Metrics is the registry the engine's telemetry (WAL latency recorders,
+	// health gauges, fault counters) registers on. Nil creates a private
+	// registry, so the recording paths never branch on telemetry being
+	// enabled. Pass the serving registry to expose the series on /metrics;
+	// never share one registry between two engines — the series collide.
+	Metrics *metrics.Registry
 }
 
 // RecoveryStats reports what Open rebuilt.
@@ -137,6 +144,7 @@ type Engine struct {
 	maps   [][]byte
 
 	health healthState
+	met    *engineMetrics
 
 	stop   chan struct{}
 	syncWG sync.WaitGroup
@@ -191,12 +199,18 @@ func Open(opts Options) (*Engine, error) {
 	// The directory's shard count wins: the WAL is partitioned by it.
 	opts.Shards = man.Shards
 
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
 	e := &Engine{
 		opts:  opts,
 		fs:    fsys,
 		store: server.NewStore(man.Shards),
 		man:   man,
+		met:   newEngineMetrics(reg),
 	}
+	e.registerHealthMetrics()
 	e.walGen.Store(man.WALGen)
 	if err := e.recover(); err != nil {
 		e.unwind()
@@ -784,7 +798,9 @@ func (e *Engine) AppendSeq(meterID, seq uint64, pts []symbolic.SymbolPoint) (int
 func (e *Engine) walAppend(shard int, write func(*wal) (int64, error)) (int64, error) {
 	for {
 		w := e.wals[shard].Load()
+		start := time.Now()
 		end, err := write(w)
+		e.met.walAppendLat.Since(start)
 		if err != nil {
 			if e.wals[shard].Load() != w {
 				// Rotated mid-append. A poisoned refusal retries on the
@@ -805,7 +821,10 @@ func (e *Engine) walAppend(shard int, write func(*wal) (int64, error)) (int64, e
 			return 0, err
 		}
 		if e.opts.Sync == SyncAlways {
-			if err := w.syncTo(end); err != nil {
+			syncStart := time.Now()
+			err := w.syncTo(end)
+			e.met.fsyncLat.Since(syncStart)
+			if err != nil {
 				if e.wals[shard].Load() == w {
 					e.health.fsyncFailures.Add(1)
 					e.degrade("wal fsync", err)
@@ -966,7 +985,10 @@ func (e *Engine) groupSync() {
 			if w == nil || !w.dirty() {
 				continue
 			}
-			if err := w.syncTo(w.written.Load()); err != nil {
+			start := time.Now()
+			err := w.syncTo(w.written.Load())
+			e.met.fsyncLat.Since(start)
+			if err != nil {
 				if e.wals[i].Load() == w {
 					e.health.fsyncFailures.Add(1)
 					e.degrade("wal group fsync", err)

@@ -444,6 +444,9 @@ type FrameReader struct {
 	// allocation per frame.
 	hdr     [5]byte
 	payload []byte
+	// fm, when set, counts every successfully decoded frame by type
+	// (SetMetrics); nil costs one branch.
+	fm *FrameMetrics
 }
 
 // NewFrameReader wraps r.
@@ -469,5 +472,6 @@ func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
 		}
 		return 0, nil, fmt.Errorf("transport: truncated frame payload: %w", err)
 	}
+	fr.fm.Observe(fr.hdr[0], int(n))
 	return fr.hdr[0], payload, nil
 }

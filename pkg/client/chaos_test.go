@@ -406,3 +406,37 @@ func fuzzTable() *symbolic.Table {
 	}
 	return table
 }
+
+// TestSessionStats pins the Stats snapshot against the retry machinery: a
+// failed first dial handshake consumes a backoff sleep (Retries,
+// LastBackoff), and a reset mid-batch costs one reconnect and one replay —
+// all visible in one snapshot that agrees with the legacy accessors.
+func TestSessionStats(t *testing.T) {
+	_, eng, addr := durableServer(t)
+	inj := netfault.New(
+		// Write 1 is the first connection's handshake: erroring it makes
+		// DialSession back off and redial (a counted retry sleep).
+		netfault.Fault{Op: netfault.OpWrite, N: 1, Action: netfault.Error},
+		// A firing fault short-circuits later faults' counting, so this one
+		// never sees write 1: its matches are the redialed handshake (1),
+		// the table (2), and the first batch (3) — reset before any byte of
+		// the batch lands → reconnect + replay.
+		netfault.Fault{Op: netfault.OpWrite, N: 3, Action: netfault.Reset},
+	)
+	table := degradedTable(t)
+	s := sessionRun(t, addr, inj, 11, table, 1)
+	st := s.Stats()
+	if st.Reconnects != s.Reconnects() || st.Replays != s.Replays() {
+		t.Fatalf("Stats %+v disagrees with accessors (%d, %d)", st, s.Reconnects(), s.Replays())
+	}
+	if st.Reconnects != 1 || st.Replays != 1 {
+		t.Fatalf("reconnects=%d replays=%d, want 1 and 1", st.Reconnects, st.Replays)
+	}
+	if st.Retries == 0 {
+		t.Fatal("the failed first dial must count a backoff retry")
+	}
+	if st.LastBackoff <= 0 {
+		t.Fatalf("LastBackoff = %v, want > 0 after a backoff sleep", st.LastBackoff)
+	}
+	requireExactlyOnce(t, eng.Store(), 11, table, 1)
+}

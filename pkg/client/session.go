@@ -69,10 +69,48 @@ type Session struct {
 	pendingFrame []byte
 	buf          []byte
 
-	reconnects int
-	replays    int
-	lastErr    error // most recent transport/refusal cause, for budget-exhausted reporting
-	err        error
+	reconnects  int
+	replays     int
+	retries     int           // backoff sleeps taken (reconnect waits + refusal re-sends)
+	lastBackoff time.Duration // duration of the most recent backoff sleep
+	lastErr     error         // most recent transport/refusal cause, for budget-exhausted reporting
+	err         error
+}
+
+// SessionStats is a point-in-time snapshot of a Session's retry machinery —
+// how hard the exactly-once discipline worked to keep the stream alive.
+type SessionStats struct {
+	// Reconnects counts redials after the initial connect.
+	Reconnects int
+	// Replays counts in-flight frames resent under their original seq after
+	// a reconnect.
+	Replays int
+	// Retries counts backoff sleeps taken, across reconnect waits and
+	// retryable per-batch refusals.
+	Retries int
+	// LastBackoff is the duration of the most recent backoff sleep (0 if
+	// none was ever taken).
+	LastBackoff time.Duration
+}
+
+// Stats returns the session's retry counters. Sessions are single-goroutine,
+// so the snapshot is exact between calls.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Reconnects:  s.reconnects,
+		Replays:     s.replays,
+		Retries:     s.retries,
+		LastBackoff: s.lastBackoff,
+	}
+}
+
+// backoffSleep takes one jittered backoff delay for attempt i, recording it
+// in the session's retry counters.
+func (s *Session) backoffSleep(i int) {
+	d := s.cfg.Backoff.delay(i)
+	s.retries++
+	s.lastBackoff = d
+	time.Sleep(d)
 }
 
 // errHWMRegressed reports a reconnect handshake whose high-water mark is
@@ -194,7 +232,7 @@ func (s *Session) connectRetry(spent int) (hwm uint64, err error) {
 		if i >= attempts-1 {
 			return 0, err
 		}
-		time.Sleep(s.cfg.Backoff.delay(i))
+		s.backoffSleep(i)
 	}
 	if hwm < s.ackedFloor() {
 		s.teardown()
@@ -308,7 +346,7 @@ func (s *Session) commit() error {
 			s.teardown()
 			s.reconnects++
 			if !fresh {
-				time.Sleep(s.cfg.Backoff.delay(i))
+				s.backoffSleep(i)
 			}
 			fresh = false
 			continue
@@ -328,7 +366,7 @@ func (s *Session) commit() error {
 			}
 			// Refusal: connection healthy, server waiting. Same seq after
 			// a jittered delay.
-			time.Sleep(s.cfg.Backoff.delay(i))
+			s.backoffSleep(i)
 			continue
 		}
 		// Transport trouble or timeout: the ack may be lost or late; only
